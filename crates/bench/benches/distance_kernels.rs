@@ -1,0 +1,52 @@
+//! Microbenchmarks of the distance kernels every technique is built on:
+//! Lp distances, DTW (unconstrained and banded), LB_Keogh, the Haar
+//! transform, and the moving-average filters — at the paper's average
+//! series length (290).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uts_bench::bench_pair;
+use uts_tseries::{
+    dtw, euclidean, exponential_moving_average, haar_forward, lb_keogh, manhattan,
+    moving_average, DtwOptions,
+};
+
+const LEN: usize = 290;
+
+fn bench(c: &mut Criterion) {
+    let (xu, yu) = bench_pair(LEN, 0.5);
+    let x = xu.values().to_vec();
+    let y = yu.values().to_vec();
+
+    let mut group = c.benchmark_group("distance_kernels");
+
+    group.bench_function("euclidean_290", |b| {
+        b.iter(|| euclidean(black_box(&x), black_box(&y)))
+    });
+    group.bench_function("manhattan_290", |b| {
+        b.iter(|| manhattan(black_box(&x), black_box(&y)))
+    });
+    group.bench_function("dtw_unconstrained_290", |b| {
+        b.iter(|| dtw(black_box(&x), black_box(&y), DtwOptions::default()))
+    });
+    group.bench_function("dtw_band10_290", |b| {
+        b.iter(|| dtw(black_box(&x), black_box(&y), DtwOptions::with_band(10)))
+    });
+    group.bench_function("lb_keogh_band10_290", |b| {
+        b.iter(|| lb_keogh(black_box(&x), black_box(&y), 10))
+    });
+    group.bench_function("haar_forward_290", |b| {
+        b.iter(|| haar_forward(black_box(&x)))
+    });
+    group.bench_function("moving_average_w2_290", |b| {
+        b.iter(|| moving_average(black_box(&x), 2))
+    });
+    group.bench_function("ema_w2_lambda1_290", |b| {
+        b.iter(|| exponential_moving_average(black_box(&x), 2, 1.0))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

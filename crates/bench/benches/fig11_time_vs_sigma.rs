@@ -1,0 +1,61 @@
+//! Figure 11 bench — per-query cost of PROUD, DUST and Euclidean as the
+//! error standard deviation varies (normal errors).
+//!
+//! The paper's claims to verify: σ barely moves any of the three
+//! techniques; the ordering is Euclidean < DUST < PROUD.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uts_bench::bench_uncertain;
+use uts_core::dust::Dust;
+use uts_core::euclidean::euclidean_uncertain;
+use uts_core::proud::{Proud, ProudConfig};
+use uts_uncertain::ErrorFamily;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_time_vs_sigma");
+    for sigma in [0.2, 1.0, 2.0] {
+        let coll = bench_uncertain(sigma, ErrorFamily::Normal);
+        let query = coll[0].clone();
+        let candidates = &coll[1..];
+
+        group.bench_with_input(BenchmarkId::new("euclidean", sigma), &sigma, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for cand in candidates {
+                    acc += euclidean_uncertain(black_box(&query), black_box(cand));
+                }
+                acc
+            })
+        });
+
+        let dust = Dust::default();
+        // Warm the lookup table outside the measurement.
+        let _ = dust.distance(&query, &candidates[0]);
+        group.bench_with_input(BenchmarkId::new("dust", sigma), &sigma, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for cand in candidates {
+                    acc += dust.distance(black_box(&query), black_box(cand));
+                }
+                acc
+            })
+        });
+
+        let proud = Proud::new(ProudConfig::with_sigma(sigma));
+        group.bench_with_input(BenchmarkId::new("proud", sigma), &sigma, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for cand in candidates {
+                    acc += proud
+                        .probability_within(black_box(&query), black_box(cand), black_box(5.0));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 12 bench — per-comparison cost of PROUD, DUST and Euclidean as
+//! the series length varies (paper: 50–1000 points, resampled).
+//!
+//! The paper's claim to verify: cost grows linearly in the length for all
+//! three techniques.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use uts_bench::bench_pair;
+use uts_core::dust::Dust;
+use uts_core::euclidean::euclidean_uncertain;
+use uts_core::proud::{Proud, ProudConfig};
+
+const SIGMA: f64 = 0.6;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_time_vs_length");
+    for len in [50usize, 200, 1000] {
+        let (x, y) = bench_pair(len, SIGMA);
+        group.throughput(Throughput::Elements(len as u64));
+
+        group.bench_with_input(BenchmarkId::new("euclidean", len), &len, |b, _| {
+            b.iter(|| euclidean_uncertain(black_box(&x), black_box(&y)))
+        });
+
+        let dust = Dust::default();
+        let _ = dust.distance(&x, &y); // warm tables
+        group.bench_with_input(BenchmarkId::new("dust", len), &len, |b, _| {
+            b.iter(|| dust.distance(black_box(&x), black_box(&y)))
+        });
+
+        let proud = Proud::new(ProudConfig::with_sigma(SIGMA));
+        group.bench_with_input(BenchmarkId::new("proud", len), &len, |b, _| {
+            b.iter(|| proud.probability_within(black_box(&x), black_box(&y), black_box(5.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Shared fixtures for the criterion benchmarks.
+//!
+//! The benches mirror the paper's timing figures (11 and 12) and add
+//! ablations for the design choices called out in DESIGN.md §4: MUNICH
+//! estimator strategies, DUST table resolution, and UMA/UEMA weighting.
+
+#![warn(missing_docs)]
+
+use uts_datasets::{Catalogue, Dataset, DatasetId};
+use uts_stats::rng::Seed;
+use uts_uncertain::{
+    perturb, perturb_multi, ErrorFamily, ErrorSpec, MultiObsSeries, UncertainSeries,
+};
+
+/// Root seed shared by all benches (fixed for comparability across runs).
+pub const BENCH_SEED: u64 = 0xBE7C;
+
+/// A small clean dataset for timing (30 GunPoint-analogue series).
+pub fn bench_dataset() -> Dataset {
+    Catalogue::new(Seed::new(BENCH_SEED)).generate_scaled(DatasetId::GunPoint, 30)
+}
+
+/// Perturbed pdf-model series for the whole bench dataset.
+pub fn bench_uncertain(sigma: f64, family: ErrorFamily) -> Vec<UncertainSeries> {
+    let d = bench_dataset();
+    let spec = ErrorSpec::constant(family, sigma);
+    d.series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| perturb(s, &spec, Seed::new(BENCH_SEED).derive_u64(i as u64)))
+        .collect()
+}
+
+/// A pair of uncertain series of the given length (values resampled).
+pub fn bench_pair(len: usize, sigma: f64) -> (UncertainSeries, UncertainSeries) {
+    let d = bench_dataset();
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, sigma);
+    let a = uts_tseries::resample::resample_series(&d.series[0], len);
+    let b = uts_tseries::resample::resample_series(&d.series[1], len);
+    (
+        perturb(&a, &spec, Seed::new(BENCH_SEED).derive("a")),
+        perturb(&b, &spec, Seed::new(BENCH_SEED).derive("b")),
+    )
+}
+
+/// A pair of multi-observation series (`n` timestamps × `s` samples).
+pub fn bench_multi_pair(n: usize, s: usize, sigma: f64) -> (MultiObsSeries, MultiObsSeries) {
+    let d = bench_dataset();
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, sigma);
+    let a = uts_tseries::resample::resample_series(&d.series[0], n);
+    let b = uts_tseries::resample::resample_series(&d.series[1], n);
+    (
+        perturb_multi(&a, &spec, s, Seed::new(BENCH_SEED).derive("ma")),
+        perturb_multi(&b, &spec, s, Seed::new(BENCH_SEED).derive("mb")),
+    )
+}

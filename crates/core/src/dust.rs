@@ -1,0 +1,665 @@
+//! DUST — a generalised notion of similarity between uncertain time
+//! series (Sarangi & Murthy, KDD 2010; paper §2.3).
+//!
+//! DUST defines a per-point dissimilarity from the probability that the
+//! *true* values behind two observations coincide:
+//!
+//! ```text
+//! φ(Δ)       — "similarity kernel" at observed difference Δ = |x − y|
+//! dust(x, y) = sqrt( −log φ(|x − y|) − k ),   k = −log φ(0)
+//! DUST(X, Y) = sqrt( Σᵢ dust(xᵢ, yᵢ)² )
+//! ```
+//!
+//! Under the uniform prior over true values that the DUST paper assumes,
+//! `φ(Δ)` is the density of the error difference `e_x − e_y` evaluated at
+//! Δ — the cross-correlation of the two error densities. Because `dust`
+//! only ever uses `log(φ(0)/φ(Δ))`, any constant normalisation of φ
+//! cancels; this module therefore works with the un-normalised density.
+//!
+//! Three analytic kernels cover the paper's error families, with adaptive
+//! numeric integration (from `uts-stats`) for arbitrary cross-family
+//! pairs:
+//!
+//! * **normal ⊗ normal** — `e_x − e_y ∼ N(0, σx² + σy²)`, giving
+//!   `dust(x, y) = Δ / √(2(σx² + σy²))`: exactly proportional to the L1
+//!   point distance, which reproduces the paper's remark that DUST is
+//!   "equivalent to the Euclidean distance, in the case where the error
+//!   … follows the normal distribution".
+//! * **uniform ⊗ uniform** — triangular/trapezoidal difference density
+//!   with *bounded support*: `φ(Δ) = 0` for large Δ, the degenerate
+//!   `log 0` the paper hit in §4.2.1. The fix implemented here is the
+//!   paper's own workaround: "adding two tails to the uniform error, so
+//!   that the error probability density function is never exactly zero" —
+//!   an ε-mixture with a wide Gaussian ([`DustConfig::uniform_tail_weight`]).
+//! * **exponential ⊗ exponential** — the difference of two zero-mean
+//!   shifted exponentials is an (asymmetric) Laplace; analytic.
+//!
+//! Like the original implementation, `dust` values are served from
+//! per-(families, σx, σy) **lookup tables** over a Δ grid
+//! (paper §4.2.1 mentions "how the DUST lookup tables are determined"),
+//! built lazily and cached behind a `parking_lot::RwLock`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use uts_stats::dist::{ContinuousDistribution, Normal};
+use uts_stats::integrate::adaptive_simpson;
+use uts_tseries::dtw::{dtw_with_cost, DtwOptions};
+use uts_uncertain::{ErrorFamily, PointError, UncertainSeries};
+
+/// DUST configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DustConfig {
+    /// Number of grid cells in each lookup table.
+    pub table_resolution: usize,
+    /// Tables cover `Δ ∈ [0, table_max_delta]`; beyond the grid the exact
+    /// kernel is evaluated directly.
+    pub table_max_delta: f64,
+    /// Mixture weight of the Gaussian tail added to uniform errors so
+    /// `φ` never reaches zero (the paper's §4.2.1 workaround). Applied
+    /// only when at least one side is uniform.
+    pub uniform_tail_weight: f64,
+    /// Relative width of the Gaussian tail (in multiples of the uniform
+    /// σ).
+    pub uniform_tail_width: f64,
+    /// Disable lookup tables and evaluate the kernel exactly on every call
+    /// (ablation switch; an order of magnitude slower).
+    pub exact_evaluation: bool,
+}
+
+impl Default for DustConfig {
+    fn default() -> Self {
+        Self {
+            table_resolution: 4096,
+            table_max_delta: 16.0,
+            uniform_tail_weight: 1e-3,
+            uniform_tail_width: 3.0,
+            exact_evaluation: false,
+        }
+    }
+}
+
+/// Cache key: families plus bit-exact σ values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TableKey {
+    fx: ErrorFamily,
+    fy: ErrorFamily,
+    sx_bits: u64,
+    sy_bits: u64,
+}
+
+impl TableKey {
+    fn new(ex: PointError, ey: PointError) -> Self {
+        Self {
+            fx: ex.family,
+            fy: ey.family,
+            sx_bits: ex.sigma.to_bits(),
+            sy_bits: ey.sigma.to_bits(),
+        }
+    }
+}
+
+/// A precomputed `dust²(Δ)` grid with linear interpolation.
+#[derive(Debug)]
+struct DustTable {
+    /// `dust²` sampled at `Δ = i · step`.
+    values: Box<[f64]>,
+    step: f64,
+}
+
+impl DustTable {
+    fn lookup(&self, delta: f64) -> Option<f64> {
+        let pos = delta / self.step;
+        let idx = pos.floor() as usize;
+        if idx + 1 >= self.values.len() {
+            return None; // out of table range; caller computes exactly
+        }
+        let frac = pos - idx as f64;
+        Some(self.values[idx] * (1.0 - frac) + self.values[idx + 1] * frac)
+    }
+}
+
+/// The DUST distance.
+///
+/// Cloning shares the table cache (cheap `Arc` clone), so one `Dust`
+/// value can serve many threads.
+#[derive(Debug, Clone)]
+pub struct Dust {
+    config: DustConfig,
+    tables: Arc<RwLock<HashMap<TableKey, Arc<DustTable>>>>,
+}
+
+impl Default for Dust {
+    fn default() -> Self {
+        Self::new(DustConfig::default())
+    }
+}
+
+impl Dust {
+    /// Creates DUST with the given configuration.
+    pub fn new(config: DustConfig) -> Self {
+        assert!(config.table_resolution >= 2, "table needs at least two cells");
+        assert!(
+            config.table_max_delta > 0.0,
+            "table range must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&config.uniform_tail_weight),
+            "tail weight must be in [0, 1)"
+        );
+        Self {
+            config,
+            tables: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DustConfig {
+        &self.config
+    }
+
+    /// Number of lookup tables built so far.
+    pub fn cached_tables(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    /// The un-normalised similarity kernel `φ(Δ)` for an error pair — the
+    /// density of `e_x − e_y` at Δ (see module docs).
+    pub fn phi(&self, ex: PointError, ey: PointError, delta: f64) -> f64 {
+        phi_kernel(&self.config, ex, ey, delta)
+    }
+
+    /// Per-point squared dust value `dust²(x, y) = −log φ(Δ) + log φ(0)`,
+    /// clamped at zero (skewed error pairs can peak away from Δ = 0; the
+    /// clamp preserves `dust(x, x) = 0` reflexivity, the role of the
+    /// paper's constant `k`).
+    pub fn dust_squared(&self, ex: PointError, ey: PointError, delta: f64) -> f64 {
+        let delta = delta.abs();
+        if self.config.exact_evaluation {
+            return dust_sq_exact(&self.config, ex, ey, delta);
+        }
+        let key = TableKey::new(ex, ey);
+        let table = self.resolve_table(key, ex, ey);
+        match table.lookup(delta) {
+            Some(v) => v,
+            None => dust_sq_exact(&self.config, ex, ey, delta),
+        }
+    }
+
+    /// Per-point dust value (paper's `dust(x, y)`).
+    pub fn dust(&self, ex: PointError, ey: PointError, delta: f64) -> f64 {
+        self.dust_squared(ex, ey, delta).sqrt()
+    }
+
+    /// The DUST distance between two uncertain series (paper Eq. 13).
+    ///
+    /// Consecutive points sharing an error pair (the common case: the
+    /// paper's workloads use one or two σ levels) reuse the resolved
+    /// lookup table, so the shared-cache lock is touched once per *run*
+    /// of equal error pairs rather than once per point.
+    ///
+    /// # Panics
+    /// If the series lengths differ.
+    pub fn distance(&self, x: &UncertainSeries, y: &UncertainSeries) -> f64 {
+        assert_eq!(x.len(), y.len(), "DUST requires equal-length series");
+        if self.config.exact_evaluation {
+            let mut acc = 0.0;
+            for i in 0..x.len() {
+                let delta = x.value_at(i) - y.value_at(i);
+                acc += dust_sq_exact(&self.config, x.error_at(i), y.error_at(i), delta);
+            }
+            return acc.sqrt();
+        }
+        let mut acc = 0.0;
+        let mut memo: Option<(TableKey, Arc<DustTable>)> = None;
+        for i in 0..x.len() {
+            let ex = x.error_at(i);
+            let ey = y.error_at(i);
+            let delta = (x.value_at(i) - y.value_at(i)).abs();
+            let key = TableKey::new(ex, ey);
+            // Refresh the memo only when the error pair changes; the hot
+            // loop then borrows the table without touching the lock or
+            // the Arc refcount.
+            if memo.as_ref().map(|(k, _)| *k != key).unwrap_or(true) {
+                memo = Some((key, self.resolve_table(key, ex, ey)));
+            }
+            let table = &memo.as_ref().expect("just set").1;
+            acc += match table.lookup(delta) {
+                Some(v) => v,
+                None => dust_sq_exact(&self.config, ex, ey, delta),
+            };
+        }
+        acc.sqrt()
+    }
+
+    /// Fetches (building if necessary) the table for an error pair.
+    fn resolve_table(&self, key: TableKey, ex: PointError, ey: PointError) -> Arc<DustTable> {
+        if let Some(t) = self.tables.read().get(&key) {
+            return t.clone();
+        }
+        let t = Arc::new(self.build_table(ex, ey));
+        self.tables.write().entry(key).or_insert_with(|| t.clone());
+        t
+    }
+
+    /// DUST as the local cost of Dynamic Time Warping (paper §3.2: DUST
+    /// "can be employed to compute the Dynamic Time Warping distance").
+    pub fn dtw_distance(&self, x: &UncertainSeries, y: &UncertainSeries, opts: DtwOptions) -> f64 {
+        dtw_with_cost(
+            x.len(),
+            y.len(),
+            |i, j| {
+                let delta = x.value_at(i) - y.value_at(j);
+                self.dust_squared(x.error_at(i), y.error_at(j), delta)
+            },
+            opts,
+        )
+        .sqrt()
+    }
+
+    fn build_table(&self, ex: PointError, ey: PointError) -> DustTable {
+        let n = self.config.table_resolution;
+        let step = self.config.table_max_delta / (n - 1) as f64;
+        let values = (0..n)
+            .map(|i| dust_sq_exact(&self.config, ex, ey, i as f64 * step))
+            .collect();
+        DustTable { values, step }
+    }
+}
+
+/// Exact `dust²` evaluation (no table): `ln φ(0) − ln φ(Δ)`, clamped at 0.
+///
+/// Works on log-densities so that far-tail Δ values (where the density
+/// underflows `f64`) still produce the correct quadratic/linear growth —
+/// e.g. normal-normal dust² = Δ²/(2v) stays exact at any Δ.
+fn dust_sq_exact(config: &DustConfig, ex: PointError, ey: PointError, delta: f64) -> f64 {
+    let ln_phi0 = ln_phi_kernel(config, ex, ey, 0.0);
+    let ln_phid = ln_phi_kernel(config, ex, ey, delta);
+    debug_assert!(ln_phi0.is_finite(), "φ(0) must be positive");
+    if ln_phid == f64::NEG_INFINITY {
+        // Only reachable with tails disabled (the paper's degenerate
+        // uniform case); finite sentinel keeps sums usable.
+        return f64::MAX / 1e6;
+    }
+    (ln_phi0 - ln_phid).max(0.0)
+}
+
+/// φ(Δ): density of `e_x − e_y` at Δ (linear scale; may underflow deep in
+/// the tails — use [`ln_phi_kernel`] for computation).
+fn phi_kernel(config: &DustConfig, ex: PointError, ey: PointError, delta: f64) -> f64 {
+    ln_phi_kernel(config, ex, ey, delta).exp()
+}
+
+/// Log-density of the standard normal scaled to std `s`, at `x`.
+fn ln_normal_pdf(x: f64, s: f64) -> f64 {
+    let z = x / s;
+    -0.5 * z * z - s.ln() - 0.5 * (2.0 * core::f64::consts::PI).ln()
+}
+
+/// Numerically-stable `ln(Σ exp(terms))`; ignores `-inf` terms.
+fn log_sum_exp(terms: &[f64]) -> f64 {
+    let m = terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + terms
+        .iter()
+        .map(|&t| (t - m).exp())
+        .sum::<f64>()
+        .ln()
+}
+
+/// `ln φ(Δ)`: log-density of `e_x − e_y` at Δ (−∞ where the density is
+/// exactly zero, which only happens with the tail workaround disabled).
+fn ln_phi_kernel(config: &DustConfig, ex: PointError, ey: PointError, delta: f64) -> f64 {
+    use ErrorFamily as F;
+    match (ex.family, ey.family) {
+        (F::Normal, F::Normal) => {
+            let v = ex.sigma * ex.sigma + ey.sigma * ey.sigma;
+            ln_normal_pdf(delta, v.sqrt())
+        }
+        (F::Exponential, F::Exponential) => {
+            // e_x = X − σx, e_y = Y − σy with X ∼ Exp(a), Y ∼ Exp(b),
+            // a = 1/σx, b = 1/σy. Then e_x − e_y = (X − Y) − (σx − σy)
+            // and X − Y has the asymmetric Laplace density
+            //   f(z) = ab/(a+b) · e^{−a·z}  (z ≥ 0),   ab/(a+b) · e^{b·z}  (z < 0).
+            let a = 1.0 / ex.sigma;
+            let b = 1.0 / ey.sigma;
+            let z = delta + (ex.sigma - ey.sigma);
+            let ln_c = (a * b / (a + b)).ln();
+            if z >= 0.0 {
+                ln_c - a * z
+            } else {
+                ln_c + b * z
+            }
+        }
+        (F::Uniform, F::Uniform) => {
+            // Cross-correlation of two (tail-contaminated) uniforms:
+            //   f_x = (1−w)·U_x + w·G_x, similarly f_y ⇒ four convolution
+            //   terms, combined in log space so the Gaussian⊗Gaussian tail
+            //   keeps φ > 0 at any Δ.
+            let w = config.uniform_tail_weight;
+            let uu = uniform_diff_density(ex.sigma, ey.sigma, delta);
+            if w == 0.0 {
+                return if uu > 0.0 { uu.ln() } else { f64::NEG_INFINITY };
+            }
+            let gx = config.uniform_tail_width * ex.sigma;
+            let gy = config.uniform_tail_width * ey.sigma;
+            let ug = uniform_normal_diff_density(ex.sigma, gy, delta);
+            let gu = uniform_normal_diff_density(ey.sigma, gx, -delta);
+            let ln_w = w.ln();
+            let ln_1w = (1.0 - w).ln();
+            let terms = [
+                if uu > 0.0 { 2.0 * ln_1w + uu.ln() } else { f64::NEG_INFINITY },
+                if ug > 0.0 { ln_1w + ln_w + ug.ln() } else { f64::NEG_INFINITY },
+                if gu > 0.0 { ln_1w + ln_w + gu.ln() } else { f64::NEG_INFINITY },
+                2.0 * ln_w + ln_normal_pdf(delta, (gx * gx + gy * gy).sqrt()),
+            ];
+            log_sum_exp(&terms)
+        }
+        // Cross-family pairs: numeric integration of
+        //   φ(Δ) = ∫ f_x(u) · f_y(u − Δ) du
+        // over the effective overlap of the supports (tail-contaminated
+        // uniforms where applicable, keeping φ > 0 everywhere). Deep-tail
+        // Δ where the integral underflows falls back to the dominant
+        // Gaussian-tail approximation when a uniform side carries tails.
+        _ => {
+            let fx = contaminated_pdf(config, ex);
+            let fy = contaminated_pdf(config, ey);
+            let (xl, xh) = contaminated_support(config, ex);
+            let (yl, yh) = contaminated_support(config, ey);
+            // u ranges over supp(f_x) ∩ (Δ + supp(f_y)).
+            let lo = xl.max(delta + yl);
+            let hi = xh.min(delta + yh);
+            if lo >= hi {
+                return f64::NEG_INFINITY;
+            }
+            let v = adaptive_simpson(|u| fx(u) * fy(u - delta), lo, hi, 1e-12, 40);
+            if v > 0.0 {
+                v.ln()
+            } else {
+                f64::NEG_INFINITY
+            }
+        }
+    }
+}
+
+/// Density of `U₁ − U₂` at Δ for zero-mean uniforms with std σ₁, σ₂
+/// (a symmetric trapezoid; a triangle when σ₁ = σ₂).
+fn uniform_diff_density(s1: f64, s2: f64, delta: f64) -> f64 {
+    let a1 = s1 * 3f64.sqrt();
+    let a2 = s2 * 3f64.sqrt();
+    let d = delta.abs();
+    // Convolution of U[−a1,a1] and U[−a2,a2] (difference of independent
+    // uniforms has the same law as the sum by symmetry).
+    let (lo, hi) = (2.0 * (a1.min(a2)), a1 + a2);
+    let peak = 1.0 / (2.0 * a1.max(a2));
+    if d >= hi {
+        0.0
+    } else if d <= hi - lo {
+        peak
+    } else {
+        peak * (hi - d) / lo
+    }
+}
+
+/// Density of `U − G` at Δ: zero-mean uniform (std `su`) minus zero-mean
+/// normal (std `sg`); closed form via the normal CDF.
+fn uniform_normal_diff_density(su: f64, sg: f64, delta: f64) -> f64 {
+    let a = su * 3f64.sqrt();
+    // f(Δ) = (1/2a) ∫_{−a}^{a} φ_G(u − Δ) du = (Φ((a−Δ)/sg) − Φ((−a−Δ)/sg)) / 2a
+    (Normal::phi((a - delta) / sg) - Normal::phi((-a - delta) / sg)) / (2.0 * a)
+}
+
+/// Pdf of the error with the uniform family replaced by its
+/// tail-contaminated version.
+fn contaminated_pdf(config: &DustConfig, pe: PointError) -> impl Fn(f64) -> f64 {
+    let w = if pe.family == ErrorFamily::Uniform {
+        config.uniform_tail_weight
+    } else {
+        0.0
+    };
+    let tail = Normal::new(0.0, config.uniform_tail_width * pe.sigma);
+    move |e: f64| (1.0 - w) * pe.pdf(e) + w * tail.pdf(e)
+}
+
+/// Effective support of the (possibly contaminated) error density.
+fn contaminated_support(config: &DustConfig, pe: PointError) -> (f64, f64) {
+    let (lo, hi) = pe.support();
+    if pe.family == ErrorFamily::Uniform && config.uniform_tail_weight > 0.0 {
+        let t = 10.0 * config.uniform_tail_width * pe.sigma;
+        (lo.min(-t), hi.max(t))
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use uts_tseries::euclidean;
+
+    fn pe(family: ErrorFamily, sigma: f64) -> PointError {
+        PointError::new(family, sigma)
+    }
+
+    #[test]
+    fn normal_dust_is_scaled_euclidean() {
+        // Equal normal σ at every point ⇒ DUST(X, Y) ∝ Euclid(X, Y)
+        // with factor 1/√(2·2σ²) on each per-point distance.
+        let sigma = 0.5;
+        let errs = vec![pe(ErrorFamily::Normal, sigma); 4];
+        let x = UncertainSeries::new(vec![0.0, 1.0, -0.5, 2.0], errs.clone());
+        let y = UncertainSeries::new(vec![1.0, 1.0, 0.5, 0.0], errs);
+        let dust = Dust::default();
+        let d = dust.distance(&x, &y);
+        let e = euclidean(x.values(), y.values());
+        let scale = 1.0 / (2.0 * (2.0 * sigma * sigma)).sqrt();
+        assert!(
+            (d - e * scale).abs() < 1e-3,
+            "dust {d} vs scaled euclid {}",
+            e * scale
+        );
+    }
+
+    #[test]
+    fn reflexive_and_symmetric() {
+        let dust = Dust::default();
+        for fam in ErrorFamily::ALL {
+            let e1 = pe(fam, 0.4);
+            let e2 = pe(fam, 0.9);
+            assert!(
+                dust.dust(e1, e1, 0.0) < 1e-9,
+                "{fam}: dust(x,x) should be 0"
+            );
+            // Symmetry in the observed difference for symmetric families.
+            if fam != ErrorFamily::Exponential {
+                let a = dust.dust(e1, e2, 0.8);
+                let b = dust.dust(e1, e2, -0.8);
+                assert!((a - b).abs() < 1e-9, "{fam}: ±Δ asymmetry {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dust_monotone_in_delta_for_symmetric_families() {
+        let dust = Dust::default();
+        for fam in [ErrorFamily::Normal, ErrorFamily::Uniform] {
+            let e = pe(fam, 0.6);
+            let mut prev = -1.0;
+            for i in 0..60 {
+                let delta = i as f64 * 0.1;
+                let d = dust.dust(e, e, delta);
+                assert!(d + 1e-9 >= prev, "{fam}: not monotone at Δ = {delta}");
+                prev = d;
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_tails_keep_phi_positive() {
+        // Without tails the uniform difference density is 0 beyond the
+        // trapezoid edge — the degenerate case of paper §4.2.1.
+        let dust = Dust::default();
+        let e = pe(ErrorFamily::Uniform, 0.2);
+        // 2·a = 2·0.2·√3 ≈ 0.69 < 3: far outside the pure support.
+        let d = dust.dust(e, e, 3.0);
+        assert!(d.is_finite() && d > 0.0, "tail workaround failed: {d}");
+        // And φ itself is positive there.
+        assert!(dust.phi(e, e, 3.0) > 0.0);
+        // With tails disabled it degenerates (guarded to a huge value).
+        let raw = Dust::new(DustConfig {
+            uniform_tail_weight: 0.0,
+            exact_evaluation: true,
+            ..DustConfig::default()
+        });
+        assert!(raw.dust_squared(e, e, 3.0) > 1e100);
+    }
+
+    #[test]
+    fn exponential_kernel_matches_numeric_integration() {
+        let cfg = DustConfig::default();
+        let e1 = pe(ErrorFamily::Exponential, 0.5);
+        let e2 = pe(ErrorFamily::Exponential, 1.1);
+        for delta in [-2.0, -0.5, 0.0, 0.3, 1.7] {
+            let analytic = phi_kernel(&cfg, e1, e2, delta);
+            let numeric = {
+                let fx = contaminated_pdf(&cfg, e1);
+                let fy = contaminated_pdf(&cfg, e2);
+                let (xl, xh) = contaminated_support(&cfg, e1);
+                let (yl, yh) = contaminated_support(&cfg, e2);
+                let lo = xl.max(delta + yl);
+                let hi = xh.min(delta + yh);
+                adaptive_simpson(|u| fx(u) * fy(u - delta), lo, hi, 1e-12, 40)
+            };
+            assert!(
+                (analytic - numeric).abs() < 1e-6,
+                "Δ={delta}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn normal_kernel_matches_numeric_integration() {
+        let cfg = DustConfig::default();
+        let e1 = pe(ErrorFamily::Normal, 0.7);
+        let e2 = pe(ErrorFamily::Normal, 0.3);
+        for delta in [0.0, 0.4, 1.5] {
+            let analytic = phi_kernel(&cfg, e1, e2, delta);
+            let fx = contaminated_pdf(&cfg, e1);
+            let fy = contaminated_pdf(&cfg, e2);
+            let numeric = adaptive_simpson(|u| fx(u) * fy(u - delta), -30.0, 30.0, 1e-12, 40);
+            assert!(
+                (analytic - numeric).abs() < 1e-8,
+                "Δ={delta}: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_kernel_matches_numeric_integration() {
+        let cfg = DustConfig::default();
+        let e1 = pe(ErrorFamily::Uniform, 0.8);
+        let e2 = pe(ErrorFamily::Uniform, 0.5);
+        for delta in [0.0, 0.5, 1.2, 2.0, 4.0] {
+            let analytic = phi_kernel(&cfg, e1, e2, delta);
+            let fx = contaminated_pdf(&cfg, e1);
+            let fy = contaminated_pdf(&cfg, e2);
+            let (xl, xh) = contaminated_support(&cfg, e1);
+            let (yl, yh) = contaminated_support(&cfg, e2);
+            let lo = xl.max(delta + yl);
+            let hi = xh.min(delta + yh);
+            let numeric = adaptive_simpson(|u| fx(u) * fy(u - delta), lo, hi, 1e-12, 44);
+            assert!(
+                (analytic - numeric).abs() < 1e-5 * (1.0 + analytic),
+                "Δ={delta}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_lookup_matches_exact() {
+        let table = Dust::default();
+        let exact = Dust::new(DustConfig {
+            exact_evaluation: true,
+            ..DustConfig::default()
+        });
+        for (fx, fy) in [
+            (ErrorFamily::Normal, ErrorFamily::Normal),
+            (ErrorFamily::Uniform, ErrorFamily::Normal),
+            (ErrorFamily::Exponential, ErrorFamily::Uniform),
+        ] {
+            let e1 = pe(fx, 0.4);
+            let e2 = pe(fy, 1.0);
+            for i in 0..40 {
+                let delta = i as f64 * 0.25;
+                let a = table.dust_squared(e1, e2, delta);
+                let b = exact.dust_squared(e1, e2, delta);
+                assert!(
+                    (a - b).abs() < 2e-3 * (1.0 + b),
+                    "{fx}/{fy} Δ={delta}: table {a} vs exact {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tables_are_cached_per_error_pair() {
+        let dust = Dust::default();
+        let e1 = pe(ErrorFamily::Normal, 0.4);
+        let e2 = pe(ErrorFamily::Normal, 1.0);
+        let _ = dust.dust(e1, e2, 0.5);
+        let _ = dust.dust(e1, e2, 1.5);
+        assert_eq!(dust.cached_tables(), 1);
+        let _ = dust.dust(e2, e1, 0.5);
+        assert_eq!(dust.cached_tables(), 2); // order matters in the key
+        let shared = dust.clone();
+        let _ = shared.dust(e1, e1, 0.1);
+        assert_eq!(dust.cached_tables(), 3); // cache shared across clones
+    }
+
+    #[test]
+    fn beyond_table_range_falls_back_to_exact() {
+        let dust = Dust::new(DustConfig {
+            table_max_delta: 1.0,
+            table_resolution: 64,
+            ..DustConfig::default()
+        });
+        let e = pe(ErrorFamily::Normal, 0.5);
+        // Δ = 5 is far beyond the 1.0 table range.
+        let got = dust.dust_squared(e, e, 5.0);
+        let want = 25.0 / (2.0 * (2.0 * 0.25));
+        assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+    }
+
+    #[test]
+    fn dtw_variant_absorbs_shifts() {
+        let errs = vec![pe(ErrorFamily::Normal, 0.3); 6];
+        let x = UncertainSeries::new(vec![0.0, 0.0, 5.0, 0.0, 0.0, 0.0], errs.clone());
+        let y = UncertainSeries::new(vec![0.0, 0.0, 0.0, 5.0, 0.0, 0.0], errs);
+        let dust = Dust::default();
+        let straight = dust.distance(&x, &y);
+        let warped = dust.dtw_distance(&x, &y, DtwOptions::default());
+        assert!(warped < straight * 0.2, "dtw {warped} vs straight {straight}");
+    }
+
+    #[test]
+    fn series_distance_is_symmetric_for_symmetric_errors() {
+        let errs = vec![pe(ErrorFamily::Uniform, 0.5); 5];
+        let x = UncertainSeries::new(vec![0.0, 1.0, 0.2, -0.7, 0.4], errs.clone());
+        let y = UncertainSeries::new(vec![0.3, 0.8, -0.2, -0.5, 1.0], errs);
+        let dust = Dust::default();
+        assert!((dust.distance(&x, &y) - dust.distance(&y, &x)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn length_mismatch_panics() {
+        let e = vec![pe(ErrorFamily::Normal, 0.2)];
+        let x = UncertainSeries::new(vec![0.0], e.clone());
+        let y = UncertainSeries::new(vec![0.0, 1.0], vec![e[0]; 2]);
+        let _ = Dust::default().distance(&x, &y);
+    }
+}

@@ -1,0 +1,62 @@
+//! The Euclidean baseline.
+//!
+//! Paper §4.1.2: "When using Euclidean distance, we do not take into
+//! account the distributions of the values and their errors: we just use a
+//! single value for every timestamp, and compute the traditional Euclidean
+//! distance based on these values." Despite (or because of) this
+//! simplicity, it is the yardstick every uncertain technique is measured
+//! against — and the evaluation finds it hard to beat.
+
+use uts_tseries::distance;
+use uts_uncertain::UncertainSeries;
+
+/// Euclidean distance between the observed values of two uncertain series.
+///
+/// ```
+/// use uts_core::euclidean::euclidean_distance;
+/// assert_eq!(euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+/// ```
+pub fn euclidean_distance(x: &[f64], y: &[f64]) -> f64 {
+    distance::euclidean(x, y)
+}
+
+/// Euclidean distance lifted to [`UncertainSeries`] (ignores all error
+/// information by construction).
+pub fn euclidean_uncertain(x: &UncertainSeries, y: &UncertainSeries) -> f64 {
+    distance::euclidean(x.values(), y.values())
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use uts_uncertain::{ErrorFamily, PointError};
+
+    #[test]
+    fn ignores_error_metadata() {
+        let a = UncertainSeries::new(
+            vec![1.0, 2.0],
+            vec![PointError::new(ErrorFamily::Normal, 0.1); 2],
+        );
+        let b = UncertainSeries::new(
+            vec![1.0, 2.0],
+            vec![PointError::new(ErrorFamily::Exponential, 1.9); 2],
+        );
+        assert_eq!(euclidean_uncertain(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn matches_slice_kernel() {
+        let a = UncertainSeries::new(
+            vec![0.0, 1.0, 2.0],
+            vec![PointError::new(ErrorFamily::Uniform, 0.3); 3],
+        );
+        let b = UncertainSeries::new(
+            vec![1.0, 1.0, 0.0],
+            vec![PointError::new(ErrorFamily::Uniform, 0.3); 3],
+        );
+        assert_eq!(
+            euclidean_uncertain(&a, &b),
+            euclidean_distance(a.values(), b.values())
+        );
+    }
+}

@@ -1,0 +1,708 @@
+//! MUNICH — probabilistic similarity search over repeated observations
+//! (Aßfalg, Kriegel, Kröger, Renz — SSDBM 2009; paper §2.1).
+//!
+//! MUNICH materialises the two uncertain sequences into all possible
+//! certain sequences (one sample per timestamp) and counts:
+//!
+//! ```text
+//! Pr(distance(X, Y) ≤ ε) = |{d ∈ dists(X, Y) : d ≤ ε}| / |dists(X, Y)|
+//! ```
+//!
+//! The naive enumeration is `s_x^n · s_y^n` — "infeasible, because of the
+//! very large space that leads to an exponential computational cost"
+//! (paper §2.1). For the Euclidean distance, however, a materialisation
+//! pair decomposes into independent per-timestamp choices: the squared
+//! distance is `Σᵢ Cᵢ` with `Cᵢ` uniform over the `s_x · s_y` squared
+//! sample differences at timestamp `i`. This module exploits that product
+//! form with a ladder of strategies (selected via [`MunichStrategy`]):
+//!
+//! * **Exact** — dynamic programming over the exact support of the partial
+//!   sums; exponential in the worst case, bounded by
+//!   [`MunichConfig::exact_support_limit`]. Ground truth for tests.
+//! * **Convolution** — fixed-bin histogram convolution of the `n`
+//!   per-timestamp distributions, tracking rigorous lower/upper
+//!   probability bounds (mass is shifted by floor/ceil bin rounding).
+//! * **MonteCarlo** — unbiased sampling of materialisation pairs; the only
+//!   general strategy for DTW, where the product form does not hold.
+//! * **Auto** (default) — exact when cheap, else convolution, with the
+//!   minimal-bounding-interval (MBI) filter step of the original paper
+//!   short-circuiting certain 0/1 answers first ("upper and lower bounding
+//!   the distances, summarizing the repeated samples using minimal
+//!   bounding intervals"): no false dismissals.
+
+use rand::Rng;
+use uts_stats::rng::Seed;
+use uts_tseries::dtw::{dtw_with_cost, DtwOptions};
+use uts_uncertain::MultiObsSeries;
+
+/// Strategy for computing the materialisation-distance distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum MunichStrategy {
+    /// Exact DP over partial-sum supports (guarded by
+    /// [`MunichConfig::exact_support_limit`]; falls back to convolution
+    /// beyond it).
+    Exact,
+    /// Histogram convolution with the given bin count.
+    Convolution {
+        /// Number of histogram bins for the squared-distance axis.
+        bins: usize,
+    },
+    /// Monte-Carlo estimation with the given number of materialisation
+    /// pairs.
+    MonteCarlo {
+        /// Sample count.
+        samples: usize,
+    },
+    /// Exact when the support stays small, otherwise convolution.
+    Auto,
+}
+
+/// MUNICH configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MunichConfig {
+    /// Distribution strategy.
+    pub strategy: MunichStrategy,
+    /// Exact DP keeps at most this many distinct partial sums before
+    /// falling back (memory/time guard).
+    pub exact_support_limit: usize,
+    /// Bin count used when `Auto` falls back to convolution.
+    pub auto_bins: usize,
+    /// Apply the MBI filter step before any refinement.
+    pub use_mbi_filter: bool,
+    /// Seed for the Monte-Carlo estimator (kept in the config so repeated
+    /// queries are reproducible).
+    pub mc_seed: u64,
+}
+
+impl Default for MunichConfig {
+    fn default() -> Self {
+        Self {
+            strategy: MunichStrategy::Auto,
+            exact_support_limit: 200_000,
+            auto_bins: 8192,
+            use_mbi_filter: true,
+            mc_seed: 0x4d554e49, // "MUNI"
+        }
+    }
+}
+
+/// Lower/upper bounds on `Pr(distance ≤ ε)`; equal when the answer is
+/// exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbabilityBounds {
+    /// Guaranteed lower bound.
+    pub lo: f64,
+    /// Guaranteed upper bound.
+    pub hi: f64,
+}
+
+impl ProbabilityBounds {
+    fn exact(p: f64) -> Self {
+        Self { lo: p, hi: p }
+    }
+
+    /// Midpoint point estimate.
+    pub fn estimate(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Width of the bound interval (0 for exact answers).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// The MUNICH similarity technique.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Munich {
+    config: MunichConfig,
+}
+
+impl Munich {
+    /// Creates MUNICH with the given configuration.
+    pub fn new(config: MunichConfig) -> Self {
+        assert!(config.exact_support_limit >= 2, "support limit too small");
+        assert!(config.auto_bins >= 16, "need at least 16 bins");
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MunichConfig {
+        &self.config
+    }
+
+    /// `Pr(distance(X, Y) ≤ ε)` over all materialisation pairs
+    /// (paper Eq. 4), as rigorous bounds.
+    ///
+    /// # Panics
+    /// If the series lengths differ or either is empty.
+    pub fn probability_bounds(
+        &self,
+        x: &MultiObsSeries,
+        y: &MultiObsSeries,
+        epsilon: f64,
+    ) -> ProbabilityBounds {
+        assert_eq!(x.len(), y.len(), "MUNICH requires equal-length series");
+        assert!(!x.is_empty(), "MUNICH requires non-empty series");
+        assert!(epsilon >= 0.0, "distance threshold must be non-negative");
+        let eps_sq = epsilon * epsilon;
+
+        // MBI filter step: certain answers without touching samples.
+        if self.config.use_mbi_filter {
+            let (lb_sq, ub_sq) = interval_distance_sq_bounds(x, y);
+            if ub_sq <= eps_sq {
+                return ProbabilityBounds::exact(1.0);
+            }
+            if lb_sq > eps_sq {
+                return ProbabilityBounds::exact(0.0);
+            }
+        }
+
+        match self.config.strategy {
+            MunichStrategy::Exact => self.exact_or_convolve(x, y, eps_sq),
+            MunichStrategy::Convolution { bins } => {
+                ProbabilityBounds::from(convolve_probability(x, y, eps_sq, bins))
+            }
+            MunichStrategy::MonteCarlo { samples } => {
+                ProbabilityBounds::exact(self.monte_carlo_euclid(x, y, eps_sq, samples))
+            }
+            MunichStrategy::Auto => self.exact_or_convolve(x, y, eps_sq),
+        }
+    }
+
+    /// Point estimate of `Pr(distance(X, Y) ≤ ε)`.
+    pub fn probability_within(&self, x: &MultiObsSeries, y: &MultiObsSeries, epsilon: f64) -> f64 {
+        self.probability_bounds(x, y, epsilon).estimate()
+    }
+
+    /// PRQ membership: `Pr(distance ≤ ε) ≥ τ` (paper Eq. 2), decided on
+    /// the point estimate.
+    pub fn matches(&self, x: &MultiObsSeries, y: &MultiObsSeries, epsilon: f64, tau: f64) -> bool {
+        assert!((0.0..=1.0).contains(&tau), "τ must be in [0, 1]");
+        self.probability_within(x, y, epsilon) >= tau
+    }
+
+    /// `Pr(DTW(X, Y) ≤ ε)` estimated by Monte-Carlo over materialisation
+    /// pairs, with the interval-DTW bounds short-circuiting certain
+    /// answers (see [`dtw_interval_bounds`]).
+    pub fn dtw_probability_within(
+        &self,
+        x: &MultiObsSeries,
+        y: &MultiObsSeries,
+        epsilon: f64,
+        opts: DtwOptions,
+        samples: usize,
+    ) -> f64 {
+        assert!(samples > 0, "need at least one Monte-Carlo sample");
+        let eps_sq = epsilon * epsilon;
+        let (lb_sq, ub_sq) = dtw_interval_bounds(x, y, opts);
+        if ub_sq <= eps_sq {
+            return 1.0;
+        }
+        if lb_sq > eps_sq {
+            return 0.0;
+        }
+        let mut rng = Seed::new(self.config.mc_seed).derive("dtw").rng();
+        let mut hits = 0usize;
+        let mut xs = vec![0.0; x.len()];
+        let mut ys = vec![0.0; y.len()];
+        for _ in 0..samples {
+            materialize_into(x, &mut rng, &mut xs);
+            materialize_into(y, &mut rng, &mut ys);
+            let d = dtw_with_cost(
+                xs.len(),
+                ys.len(),
+                |i, j| {
+                    let d = xs[i] - ys[j];
+                    d * d
+                },
+                opts,
+            );
+            if d <= eps_sq {
+                hits += 1;
+            }
+        }
+        hits as f64 / samples as f64
+    }
+
+    fn exact_or_convolve(
+        &self,
+        x: &MultiObsSeries,
+        y: &MultiObsSeries,
+        eps_sq: f64,
+    ) -> ProbabilityBounds {
+        match exact_probability(x, y, eps_sq, self.config.exact_support_limit) {
+            Some(p) => ProbabilityBounds::exact(p),
+            None => ProbabilityBounds::from(convolve_probability(
+                x,
+                y,
+                eps_sq,
+                self.config.auto_bins,
+            )),
+        }
+    }
+
+    fn monte_carlo_euclid(
+        &self,
+        x: &MultiObsSeries,
+        y: &MultiObsSeries,
+        eps_sq: f64,
+        samples: usize,
+    ) -> f64 {
+        assert!(samples > 0, "need at least one Monte-Carlo sample");
+        let mut rng = Seed::new(self.config.mc_seed).derive("euclid").rng();
+        let n = x.len();
+        let mut hits = 0usize;
+        for _ in 0..samples {
+            let mut acc = 0.0;
+            for i in 0..n {
+                let xv = x.row(i)[rng.gen_range(0..x.samples_per_point())];
+                let yv = y.row(i)[rng.gen_range(0..y.samples_per_point())];
+                let d = xv - yv;
+                acc += d * d;
+                if acc > eps_sq {
+                    break; // early abandon: the sum only grows
+                }
+            }
+            if acc <= eps_sq {
+                hits += 1;
+            }
+        }
+        hits as f64 / samples as f64
+    }
+}
+
+impl From<(f64, f64)> for ProbabilityBounds {
+    fn from((lo, hi): (f64, f64)) -> Self {
+        Self { lo, hi }
+    }
+}
+
+/// Squared per-timestamp sample differences at timestamp `i`
+/// (the support of `Cᵢ`, each value with probability `1/(s_x·s_y)`).
+fn pairwise_sq_diffs(x: &MultiObsSeries, y: &MultiObsSeries, i: usize) -> Vec<f64> {
+    let rx = x.row(i);
+    let ry = y.row(i);
+    let mut out = Vec::with_capacity(rx.len() * ry.len());
+    for &a in rx {
+        for &b in ry {
+            let d = a - b;
+            out.push(d * d);
+        }
+    }
+    out
+}
+
+/// Minimal-bounding-interval bounds on the squared Euclidean distance over
+/// all materialisation pairs: per timestamp, the distance between samples
+/// is bounded by the min/max distance between the MBIs.
+fn interval_distance_sq_bounds(x: &MultiObsSeries, y: &MultiObsSeries) -> (f64, f64) {
+    let mut lb = 0.0;
+    let mut ub = 0.0;
+    for i in 0..x.len() {
+        let (xl, xh) = x.mbi(i);
+        let (yl, yh) = y.mbi(i);
+        let (lo, hi) = interval_pair_sq_range(xl, xh, yl, yh);
+        lb += lo;
+        ub += hi;
+    }
+    (lb, ub)
+}
+
+/// Min/max of `(a − b)²` over `a ∈ [xl, xh]`, `b ∈ [yl, yh]`.
+fn interval_pair_sq_range(xl: f64, xh: f64, yl: f64, yh: f64) -> (f64, f64) {
+    // Min distance is 0 if the intervals overlap, else the gap.
+    let gap = (yl - xh).max(xl - yh).max(0.0);
+    let far = (xh - yl).abs().max((yh - xl).abs());
+    (gap * gap, far * far)
+}
+
+/// Interval-sequence DTW bounds: any warping path's accumulated
+/// min-interval (max-interval) costs lower- (upper-) bound the DTW of
+/// every materialisation pair.
+///
+/// Proof sketch (upper bound): let `P*` minimise the max-cost path sum.
+/// For any materialisation, its optimal path cost ≤ its cost along `P*`
+/// ≤ `Σ_{P*} maxcost`. The lower bound is symmetric: for any
+/// materialisation and its optimal path `P`,
+/// cost ≥ `Σ_P mincost ≥ min_P Σ mincost`.
+pub fn dtw_interval_bounds(
+    x: &MultiObsSeries,
+    y: &MultiObsSeries,
+    opts: DtwOptions,
+) -> (f64, f64) {
+    let lb = dtw_with_cost(
+        x.len(),
+        y.len(),
+        |i, j| {
+            let (xl, xh) = x.mbi(i);
+            let (yl, yh) = y.mbi(j);
+            interval_pair_sq_range(xl, xh, yl, yh).0
+        },
+        opts,
+    );
+    let ub = dtw_with_cost(
+        x.len(),
+        y.len(),
+        |i, j| {
+            let (xl, xh) = x.mbi(i);
+            let (yl, yh) = y.mbi(j);
+            interval_pair_sq_range(xl, xh, yl, yh).1
+        },
+        opts,
+    );
+    (lb, ub)
+}
+
+/// Draws one materialisation of `m` into `out` (one uniformly random
+/// sample per timestamp).
+fn materialize_into<R: Rng + ?Sized>(m: &MultiObsSeries, rng: &mut R, out: &mut [f64]) {
+    let s = m.samples_per_point();
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = m.row(i)[rng.gen_range(0..s)];
+    }
+}
+
+/// Exact probability via DP over the support of partial sums.
+///
+/// The partial-sum support after step `i` has at most `∏ (s_x s_y)`
+/// distinct values; we sort-merge values that are exactly equal and give
+/// up (returning `None`) when the support exceeds `limit`.
+fn exact_probability(
+    x: &MultiObsSeries,
+    y: &MultiObsSeries,
+    eps_sq: f64,
+    limit: usize,
+) -> Option<f64> {
+    // support: sorted (sum, probability) pairs.
+    let mut support: Vec<(f64, f64)> = vec![(0.0, 1.0)];
+    for i in 0..x.len() {
+        let diffs = pairwise_sq_diffs(x, y, i);
+        let p_each = 1.0 / diffs.len() as f64;
+        if support.len() * diffs.len() > limit {
+            return None;
+        }
+        let mut next: Vec<(f64, f64)> = Vec::with_capacity(support.len() * diffs.len());
+        for &(sum, p) in &support {
+            for &d in &diffs {
+                next.push((sum + d, p * p_each));
+            }
+        }
+        next.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite sums"));
+        // Merge exact duplicates (common with symmetric samples).
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(next.len());
+        for (v, p) in next {
+            match merged.last_mut() {
+                Some((lv, lp)) if *lv == v => *lp += p,
+                _ => merged.push((v, p)),
+            }
+        }
+        support = merged;
+    }
+    let p: f64 = support
+        .iter()
+        .take_while(|(v, _)| *v <= eps_sq)
+        .map(|(_, p)| p)
+        .sum();
+    Some(p.clamp(0.0, 1.0))
+}
+
+/// Histogram-convolution bounds on `Pr(Σ Cᵢ ≤ ε²)`.
+///
+/// Maintains two histograms over `[0, total_max]`: one where every shift
+/// is rounded *down* a bin (stochastically dominated by the true sum ⇒
+/// upper bound on the CDF) and one rounded *up* (lower bound). The final
+/// CDF at `ε²` is read off both.
+fn convolve_probability(
+    x: &MultiObsSeries,
+    y: &MultiObsSeries,
+    eps_sq: f64,
+    bins: usize,
+) -> (f64, f64) {
+    let n = x.len();
+    // Total range of the sum.
+    let mut total_max = 0.0;
+    for i in 0..n {
+        let mx = pairwise_sq_diffs(x, y, i)
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        total_max += mx;
+    }
+    if total_max == 0.0 {
+        // All samples identical: distance is exactly zero.
+        return if 0.0 <= eps_sq { (1.0, 1.0) } else { (0.0, 0.0) };
+    }
+    let width = total_max / bins as f64;
+    // lo_hist[k]: mass with true sum ≥ k·width (shift floored).
+    let mut lo_hist = vec![0.0f64; bins + 1];
+    let mut hi_hist = vec![0.0f64; bins + 1];
+    lo_hist[0] = 1.0;
+    hi_hist[0] = 1.0;
+    let mut scratch = vec![0.0f64; bins + 1];
+    for i in 0..n {
+        let diffs = pairwise_sq_diffs(x, y, i);
+        let p_each = 1.0 / diffs.len() as f64;
+        // Bin shifts (floor for the dominated version, ceil for the
+        // dominating one).
+        for (hist, ceil) in [(&mut lo_hist, false), (&mut hi_hist, true)] {
+            scratch.iter_mut().for_each(|v| *v = 0.0);
+            for &d in &diffs {
+                let raw = d / width;
+                let shift = if ceil {
+                    raw.ceil() as usize
+                } else {
+                    raw.floor() as usize
+                };
+                for (k, &mass) in hist.iter().enumerate() {
+                    if mass > 0.0 {
+                        let idx = (k + shift).min(bins);
+                        scratch[idx] += mass * p_each;
+                    }
+                }
+            }
+            hist.copy_from_slice(&scratch);
+        }
+    }
+    // CDF at eps_sq: floored sums under-estimate the true sums, so their
+    // CDF dominates (upper bound); ceiled sums give the lower bound.
+    let bin_of = |v: f64| ((v / width).floor() as usize).min(bins);
+    let eps_bin = bin_of(eps_sq);
+    // Floored sums never exceed the true sums, so their CDF dominates the
+    // true CDF (upper bound); ceiled sums never fall below the true sums,
+    // so their CDF is dominated (lower bound). Both CDFs are read at the
+    // largest integer bin k with k·width ≤ ε².
+    let upper: f64 = lo_hist[..=eps_bin].iter().sum();
+    let lower: f64 = hi_hist[..=eps_bin].iter().sum();
+    (lower.clamp(0.0, 1.0), upper.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use uts_stats::rng::Seed;
+    use uts_tseries::TimeSeries;
+    use uts_uncertain::{perturb_multi, ErrorFamily, ErrorSpec};
+
+    /// Brute-force ground truth: enumerate ALL materialisation pairs.
+    fn brute_force(x: &MultiObsSeries, y: &MultiObsSeries, eps: f64) -> f64 {
+        let n = x.len();
+        let sx = x.samples_per_point();
+        let sy = y.samples_per_point();
+        let total_x = sx.pow(n as u32);
+        let total_y = sy.pow(n as u32);
+        let mut hits = 0usize;
+        for ix in 0..total_x {
+            // Decode materialisation ix in base sx.
+            let mut xv = Vec::with_capacity(n);
+            let mut rem = ix;
+            for i in 0..n {
+                xv.push(x.row(i)[rem % sx]);
+                rem /= sx;
+            }
+            for iy in 0..total_y {
+                let mut rem = iy;
+                let mut acc = 0.0;
+                for (i, xs) in xv.iter().enumerate() {
+                    let yv = y.row(i)[rem % sy];
+                    rem /= sy;
+                    let d = xs - yv;
+                    acc += d * d;
+                }
+                if acc.sqrt() <= eps {
+                    hits += 1;
+                }
+            }
+        }
+        hits as f64 / (total_x as f64 * total_y as f64)
+    }
+
+    fn small_pair(seed: u64, n: usize, s: usize) -> (MultiObsSeries, MultiObsSeries) {
+        let clean = TimeSeries::from_values((0..n).map(|i| (i as f64 / 2.0).sin()));
+        let spec = ErrorSpec::constant(ErrorFamily::Normal, 0.4);
+        let x = perturb_multi(&clean, &spec, s, Seed::new(seed));
+        let y = perturb_multi(&clean, &spec, s, Seed::new(seed + 1000));
+        (x, y)
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        let (x, y) = small_pair(1, 4, 3);
+        for eps in [0.1, 0.5, 1.0, 2.0, 5.0] {
+            let brute = brute_force(&x, &y, eps);
+            let exact = exact_probability(&x, &y, eps * eps, 1_000_000).unwrap();
+            assert!(
+                (brute - exact).abs() < 1e-12,
+                "ε={eps}: brute {brute} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn convolution_brackets_exact() {
+        let (x, y) = small_pair(2, 5, 4);
+        for eps in [0.3, 0.8, 1.5, 3.0] {
+            let truth = exact_probability(&x, &y, eps * eps, 10_000_000).unwrap();
+            let (lo, hi) = convolve_probability(&x, &y, eps * eps, 4096);
+            assert!(
+                lo <= truth + 1e-9 && truth <= hi + 1e-9,
+                "ε={eps}: bounds [{lo}, {hi}] miss truth {truth}"
+            );
+            assert!(hi - lo < 0.2, "ε={eps}: bounds too loose: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_approximates_exact() {
+        // n = 5, s = 4: 16 pair-diffs per step, 16⁵ ≈ 1.0M support — within
+        // the exact DP's reach.
+        let (x, y) = small_pair(3, 5, 4);
+        let munich_mc = Munich::new(MunichConfig {
+            strategy: MunichStrategy::MonteCarlo { samples: 40_000 },
+            use_mbi_filter: false,
+            ..MunichConfig::default()
+        });
+        for eps in [0.8, 1.5, 2.5] {
+            let truth = exact_probability(&x, &y, eps * eps, 10_000_000).unwrap();
+            let est = munich_mc.probability_within(&x, &y, eps);
+            assert!(
+                (truth - est).abs() < 0.02,
+                "ε={eps}: exact {truth} vs MC {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_strategy_equals_exact_when_feasible() {
+        let (x, y) = small_pair(4, 4, 3);
+        let munich = Munich::default();
+        for eps in [0.5, 1.2, 2.4] {
+            let b = munich.probability_bounds(&x, &y, eps);
+            let truth = brute_force(&x, &y, eps);
+            assert!(
+                b.lo <= truth + 1e-9 && truth <= b.hi + 1e-9,
+                "ε={eps}: [{}, {}] vs {truth}",
+                b.lo,
+                b.hi
+            );
+        }
+    }
+
+    #[test]
+    fn mbi_filter_short_circuits() {
+        // Identical multi-obs series with ε larger than the max possible
+        // distance → probability exactly 1 via MBI alone.
+        let (x, _) = small_pair(5, 4, 3);
+        let munich = Munich::default();
+        let (_, ub_sq) = interval_distance_sq_bounds(&x, &x);
+        let eps = ub_sq.sqrt() + 0.1;
+        let b = munich.probability_bounds(&x, &x, eps);
+        assert_eq!((b.lo, b.hi), (1.0, 1.0));
+        // And ε below the min distance of two far-apart series → 0.
+        let shifted = MultiObsSeries::from_rows(
+            (0..x.len())
+                .map(|i| x.row(i).iter().map(|v| v + 100.0).collect())
+                .collect(),
+        );
+        let b = munich.probability_bounds(&x, &shifted, 1.0);
+        assert_eq!((b.lo, b.hi), (0.0, 0.0));
+    }
+
+    #[test]
+    fn probability_monotone_in_epsilon() {
+        let (x, y) = small_pair(6, 5, 3);
+        let munich = Munich::default();
+        let mut prev = 0.0;
+        for i in 0..30 {
+            let eps = i as f64 * 0.25;
+            let p = munich.probability_within(&x, &y, eps);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p + 1e-9 >= prev, "not monotone at ε={eps}");
+            prev = p;
+        }
+        assert!(prev > 0.999);
+    }
+
+    #[test]
+    fn matches_uses_tau() {
+        let (x, y) = small_pair(7, 4, 3);
+        let munich = Munich::default();
+        // Find an ε with interior probability.
+        let mut eps = 0.1;
+        while munich.probability_within(&x, &y, eps) < 0.5 {
+            eps += 0.1;
+        }
+        let p = munich.probability_within(&x, &y, eps);
+        assert!(munich.matches(&x, &y, eps, p - 0.05));
+        assert!(!munich.matches(&x, &y, eps, (p + 0.05).min(1.0)));
+    }
+
+    #[test]
+    fn interval_pair_sq_range_cases() {
+        // Overlapping intervals: min 0.
+        assert_eq!(interval_pair_sq_range(0.0, 2.0, 1.0, 3.0), (0.0, 9.0));
+        // Disjoint: gap² to far².
+        let (lo, hi) = interval_pair_sq_range(0.0, 1.0, 3.0, 5.0);
+        assert_eq!(lo, 4.0);
+        assert_eq!(hi, 25.0);
+        // Point intervals.
+        let (lo, hi) = interval_pair_sq_range(2.0, 2.0, -1.0, -1.0);
+        assert_eq!(lo, 9.0);
+        assert_eq!(hi, 9.0);
+    }
+
+    #[test]
+    fn dtw_bounds_bracket_materialisations() {
+        let (x, y) = small_pair(8, 5, 3);
+        let opts = DtwOptions::default();
+        let (lb_sq, ub_sq) = dtw_interval_bounds(&x, &y, opts);
+        assert!(lb_sq <= ub_sq);
+        // Sample materialisations and verify the bracket.
+        let mut rng = Seed::new(77).rng();
+        let mut xs = vec![0.0; x.len()];
+        let mut ys = vec![0.0; y.len()];
+        for _ in 0..200 {
+            materialize_into(&x, &mut rng, &mut xs);
+            materialize_into(&y, &mut rng, &mut ys);
+            let d = dtw_with_cost(
+                xs.len(),
+                ys.len(),
+                |i, j| {
+                    let d = xs[i] - ys[j];
+                    d * d
+                },
+                opts,
+            );
+            assert!(
+                d >= lb_sq - 1e-9 && d <= ub_sq + 1e-9,
+                "materialisation DTW {d} outside [{lb_sq}, {ub_sq}]"
+            );
+        }
+    }
+
+    #[test]
+    fn dtw_probability_sane() {
+        let (x, y) = small_pair(9, 4, 3);
+        let munich = Munich::default();
+        let p_small = munich.dtw_probability_within(&x, &y, 0.01, DtwOptions::default(), 2000);
+        let p_large = munich.dtw_probability_within(&x, &y, 100.0, DtwOptions::default(), 2000);
+        assert!(p_small <= p_large);
+        assert_eq!(p_large, 1.0);
+    }
+
+    #[test]
+    fn exact_gives_up_over_limit() {
+        let (x, y) = small_pair(10, 8, 4);
+        // 16 pairwise diffs per step, 8 steps → 16^8 ≈ 4.3e9 >> 1000.
+        assert!(exact_probability(&x, &y, 1.0, 1000).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn length_mismatch_panics() {
+        let a = MultiObsSeries::from_rows(vec![vec![0.0]]);
+        let b = MultiObsSeries::from_rows(vec![vec![0.0], vec![1.0]]);
+        let _ = Munich::default().probability_bounds(&a, &b, 1.0);
+    }
+}

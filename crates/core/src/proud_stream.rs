@@ -1,0 +1,256 @@
+//! Streaming PROUD.
+//!
+//! PROUD was designed for *uncertain data streams* (the EDBT 2009 title:
+//! "a PRObabilistic approach to processing similarity queries over
+//! Uncertain Data streams"); the batch view in [`crate::proud`] is what
+//! the VLDB 2012 comparison exercises, but the streaming formulation is
+//! the natural production deployment: the sufficient statistics
+//! `Σᵢ E[Dᵢ²]` and `Σᵢ Var[Dᵢ²]` are plain sums, so they can be
+//! maintained incrementally as points arrive — O(1) per point, O(1) per
+//! PRQ evaluation — and a sliding window only needs the per-point
+//! contributions of the points still in scope.
+//!
+//! [`ProudStream`] supports both regimes:
+//!
+//! * **growing prefix** (unbounded window): `push` only;
+//! * **sliding window**: construct with [`ProudStream::with_window`] and
+//!   old contributions retire automatically.
+
+use std::collections::VecDeque;
+
+use crate::proud::DistanceStats;
+
+/// Incremental PROUD distance statistics between two synchronized
+/// uncertain streams.
+///
+/// Each call to [`ProudStream::push`] consumes the next aligned pair of
+/// observations with their error standard deviations and updates
+/// `E[dist²]` / `Var[dist²]` under PROUD's normal-theory moments.
+#[derive(Debug, Clone)]
+pub struct ProudStream {
+    window: Option<usize>,
+    /// Per-point `(mean_sq, var_sq)` contributions currently in scope
+    /// (only populated in sliding-window mode).
+    contributions: VecDeque<(f64, f64)>,
+    mean_sq: f64,
+    var_sq: f64,
+    len: usize,
+}
+
+impl ProudStream {
+    /// Growing-prefix stream (no expiry).
+    pub fn new() -> Self {
+        Self {
+            window: None,
+            contributions: VecDeque::new(),
+            mean_sq: 0.0,
+            var_sq: 0.0,
+            len: 0,
+        }
+    }
+
+    /// Sliding-window stream over the last `window` aligned points.
+    ///
+    /// # Panics
+    /// If `window` is zero.
+    pub fn with_window(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window: Some(window),
+            contributions: VecDeque::with_capacity(window + 1),
+            ..Self::new()
+        }
+    }
+
+    /// Number of aligned points currently contributing.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no points have been consumed (or all have expired).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Consumes the next aligned observation pair: observed values and
+    /// their error standard deviations.
+    ///
+    /// # Panics
+    /// On non-finite values or non-positive σ.
+    pub fn push(&mut self, x_obs: f64, y_obs: f64, sigma_x: f64, sigma_y: f64) {
+        assert!(
+            x_obs.is_finite() && y_obs.is_finite(),
+            "observations must be finite"
+        );
+        assert!(
+            sigma_x > 0.0 && sigma_y > 0.0,
+            "error standard deviations must be positive"
+        );
+        let delta = x_obs - y_obs;
+        let v = sigma_x * sigma_x + sigma_y * sigma_y;
+        let m = delta * delta + v;
+        let var = 4.0 * delta * delta * v + 2.0 * v * v;
+        self.mean_sq += m;
+        self.var_sq += var;
+        self.len += 1;
+        if let Some(w) = self.window {
+            self.contributions.push_back((m, var));
+            if self.contributions.len() > w {
+                let (m_old, v_old) = self.contributions.pop_front().expect("non-empty");
+                self.mean_sq -= m_old;
+                self.var_sq -= v_old;
+                self.len -= 1;
+            }
+        }
+    }
+
+    /// Current sufficient statistics of `distance²` over the in-scope
+    /// points.
+    pub fn stats(&self) -> DistanceStats {
+        DistanceStats {
+            mean_sq: self.mean_sq.max(0.0),
+            var_sq: self.var_sq.max(0.0),
+        }
+    }
+
+    /// `Pr(distance ≤ ε)` over the in-scope points (CLT approximation, as
+    /// in batch PROUD).
+    pub fn probability_within(&self, epsilon: f64) -> f64 {
+        self.stats().probability_within(epsilon)
+    }
+
+    /// PRQ membership over the in-scope points.
+    pub fn matches(&self, epsilon: f64, tau: f64) -> bool {
+        assert!((0.0..=1.0).contains(&tau), "τ must be in [0, 1]");
+        self.probability_within(epsilon) >= tau
+    }
+
+    /// Resets to the empty state (window setting preserved).
+    pub fn clear(&mut self) {
+        self.contributions.clear();
+        self.mean_sq = 0.0;
+        self.var_sq = 0.0;
+        self.len = 0;
+    }
+}
+
+impl Default for ProudStream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::proud::{Proud, ProudConfig};
+    use uts_uncertain::{ErrorFamily, PointError, UncertainSeries};
+
+    fn batch_stats(xs: &[f64], ys: &[f64], sigma: f64) -> crate::proud::DistanceStats {
+        let e = PointError::new(ErrorFamily::Normal, sigma);
+        let x = UncertainSeries::new(xs.to_vec(), vec![e; xs.len()]);
+        let y = UncertainSeries::new(ys.to_vec(), vec![e; ys.len()]);
+        Proud::new(ProudConfig::default()).distance_stats(&x, &y)
+    }
+
+    #[test]
+    fn growing_stream_matches_batch() {
+        let xs = [0.0, 1.0, -0.5, 2.0, 0.3];
+        let ys = [0.5, 0.8, 0.0, 1.0, -0.2];
+        let sigma = 0.4;
+        let mut stream = ProudStream::new();
+        for (x, y) in xs.iter().zip(&ys) {
+            stream.push(*x, *y, sigma, sigma);
+        }
+        let batch = batch_stats(&xs, &ys, sigma);
+        let s = stream.stats();
+        assert!((s.mean_sq - batch.mean_sq).abs() < 1e-12);
+        assert!((s.var_sq - batch.var_sq).abs() < 1e-12);
+        assert_eq!(stream.len(), 5);
+    }
+
+    #[test]
+    fn sliding_window_matches_batch_on_suffix() {
+        let n = 50;
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64 / 3.0).sin()).collect();
+        let ys: Vec<f64> = (0..n).map(|i| (i as f64 / 4.0).cos()).collect();
+        let sigma = 0.6;
+        let w = 8;
+        let mut stream = ProudStream::with_window(w);
+        for (x, y) in xs.iter().zip(&ys) {
+            stream.push(*x, *y, sigma, sigma);
+        }
+        assert_eq!(stream.len(), w);
+        let batch = batch_stats(&xs[n - w..], &ys[n - w..], sigma);
+        let s = stream.stats();
+        assert!((s.mean_sq - batch.mean_sq).abs() < 1e-9);
+        assert!((s.var_sq - batch.var_sq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_probability_tracks_divergence() {
+        // Streams agree for a while, then diverge: the windowed PRQ
+        // probability must fall after the divergence scrolls in.
+        let sigma = 0.3;
+        let mut stream = ProudStream::with_window(10);
+        for _ in 0..20 {
+            stream.push(0.0, 0.0, sigma, sigma);
+        }
+        let eps = 2.0;
+        let before = stream.probability_within(eps);
+        for _ in 0..10 {
+            stream.push(0.0, 3.0, sigma, sigma);
+        }
+        let after = stream.probability_within(eps);
+        assert!(
+            before > 0.9 && after < 0.1,
+            "window did not track divergence: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn heteroscedastic_points_accumulate() {
+        let mut stream = ProudStream::new();
+        stream.push(0.0, 1.0, 0.1, 0.2);
+        stream.push(0.0, 1.0, 0.5, 0.5);
+        // v1 = 0.05, v2 = 0.5; E = (1 + 0.05) + (1 + 0.5).
+        let s = stream.stats();
+        assert!((s.mean_sq - 2.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_is_certainly_zero_distance() {
+        let stream = ProudStream::new();
+        assert!(stream.is_empty());
+        // Zero points: distance is exactly 0 ≤ any ε.
+        assert_eq!(stream.probability_within(0.0), 1.0);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_window() {
+        let mut stream = ProudStream::with_window(4);
+        for i in 0..10 {
+            stream.push(i as f64, 0.0, 0.2, 0.2);
+        }
+        stream.clear();
+        assert!(stream.is_empty());
+        for _ in 0..10 {
+            stream.push(1.0, 1.0, 0.2, 0.2);
+        }
+        assert_eq!(stream.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_sigma_rejected() {
+        let mut stream = ProudStream::new();
+        stream.push(0.0, 0.0, 0.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_observation_rejected() {
+        let mut stream = ProudStream::new();
+        stream.push(f64::NAN, 0.0, 0.1, 0.1);
+    }
+}

@@ -1,0 +1,454 @@
+//! Query types over collections of uncertain time series.
+//!
+//! The paper defines two query classes (§2):
+//!
+//! * [`RangeQuery`] — `RQ(Q, C, ε) = {S ∈ C : distance(Q, S) ≤ ε}`
+//!   (Eq. 1), for techniques that produce plain distances (Euclidean,
+//!   DUST, UMA, UEMA).
+//! * [`ProbabilisticRangeQuery`] —
+//!   `PRQ(Q, C, ε, τ) = {T ∈ C : Pr(distance(Q, T) ≤ ε) ≥ τ}` (Eq. 2),
+//!   for MUNICH and PROUD.
+//!
+//! [`TopK`] covers the top-k nearest-neighbour queries that DUST — being
+//! "a real number that measures the dissimilarity" — supports directly
+//! (paper §3.3), including top-k motif-style searches used by one of the
+//! examples.
+
+use crate::dust::Dust;
+use crate::munich::Munich;
+use crate::proud::Proud;
+use crate::uma::{Uema, Uma};
+use uts_tseries::distance::euclidean;
+use uts_uncertain::{MultiObsSeries, UncertainSeries};
+
+/// A distance measure over pdf-model uncertain series that yields a plain
+/// real number — the interface range and top-k queries are generic over.
+pub trait UncertainDistance {
+    /// The distance between two equal-length uncertain series.
+    fn distance(&self, x: &UncertainSeries, y: &UncertainSeries) -> f64;
+
+    /// Short display name.
+    fn name(&self) -> &'static str;
+}
+
+/// Euclidean on observed values as an [`UncertainDistance`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EuclideanMeasure;
+
+impl UncertainDistance for EuclideanMeasure {
+    fn distance(&self, x: &UncertainSeries, y: &UncertainSeries) -> f64 {
+        euclidean(x.values(), y.values())
+    }
+
+    fn name(&self) -> &'static str {
+        "Euclidean"
+    }
+}
+
+impl UncertainDistance for Dust {
+    fn distance(&self, x: &UncertainSeries, y: &UncertainSeries) -> f64 {
+        Dust::distance(self, x, y)
+    }
+
+    fn name(&self) -> &'static str {
+        "DUST"
+    }
+}
+
+impl UncertainDistance for Uma {
+    fn distance(&self, x: &UncertainSeries, y: &UncertainSeries) -> f64 {
+        Uma::distance(self, x, y)
+    }
+
+    fn name(&self) -> &'static str {
+        "UMA"
+    }
+}
+
+impl UncertainDistance for Uema {
+    fn distance(&self, x: &UncertainSeries, y: &UncertainSeries) -> f64 {
+        Uema::distance(self, x, y)
+    }
+
+    fn name(&self) -> &'static str {
+        "UEMA"
+    }
+}
+
+/// Range query `RQ(Q, C, ε)` (paper Eq. 1).
+#[derive(Debug, Clone, Copy)]
+pub struct RangeQuery {
+    /// Distance threshold ε.
+    pub epsilon: f64,
+}
+
+impl RangeQuery {
+    /// Creates a range query; panics on negative ε.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0, "ε must be non-negative");
+        Self { epsilon }
+    }
+
+    /// Evaluates the query: indices of all collection members within ε of
+    /// the query series under `measure`.
+    pub fn evaluate<M: UncertainDistance>(
+        &self,
+        query: &UncertainSeries,
+        collection: &[UncertainSeries],
+        measure: &M,
+    ) -> Vec<usize> {
+        collection
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| measure.distance(query, s) <= self.epsilon)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Probabilistic range query `PRQ(Q, C, ε, τ)` (paper Eq. 2).
+#[derive(Debug, Clone, Copy)]
+pub struct ProbabilisticRangeQuery {
+    /// Distance threshold ε.
+    pub epsilon: f64,
+    /// Probability threshold τ.
+    pub tau: f64,
+}
+
+impl ProbabilisticRangeQuery {
+    /// Creates a PRQ; panics on negative ε or τ outside `[0, 1]`.
+    pub fn new(epsilon: f64, tau: f64) -> Self {
+        assert!(epsilon >= 0.0, "ε must be non-negative");
+        assert!((0.0..=1.0).contains(&tau), "τ must be in [0, 1]");
+        Self { epsilon, tau }
+    }
+
+    /// Evaluates the PRQ with PROUD over pdf-model series.
+    pub fn evaluate_proud(
+        &self,
+        proud: &Proud,
+        query: &UncertainSeries,
+        collection: &[UncertainSeries],
+    ) -> Vec<usize> {
+        collection
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| proud.matches(query, s, self.epsilon, self.tau))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Evaluates the PRQ with MUNICH over multi-observation series.
+    pub fn evaluate_munich(
+        &self,
+        munich: &Munich,
+        query: &MultiObsSeries,
+        collection: &[MultiObsSeries],
+    ) -> Vec<usize> {
+        collection
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| munich.matches(query, s, self.epsilon, self.tau))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Top-k nearest-neighbour query under any [`UncertainDistance`].
+#[derive(Debug, Clone, Copy)]
+pub struct TopK {
+    /// Number of neighbours to return.
+    pub k: usize,
+}
+
+impl TopK {
+    /// Creates a top-k query; panics when `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k }
+    }
+
+    /// Evaluates the query: the `k` collection members closest to `query`,
+    /// as `(index, distance)` pairs sorted ascending by distance (ties by
+    /// index). Returns fewer than `k` when the collection is smaller.
+    pub fn evaluate<M: UncertainDistance>(
+        &self,
+        query: &UncertainSeries,
+        collection: &[UncertainSeries],
+        measure: &M,
+    ) -> Vec<(usize, f64)> {
+        let mut dists: Vec<(usize, f64)> = collection
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, measure.distance(query, s)))
+            .collect();
+        dists.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite distances")
+                .then(a.0.cmp(&b.0))
+        });
+        dists.truncate(self.k);
+        dists
+    }
+}
+
+/// Subsequence scan: slides a pattern over a longer uncertain stream and
+/// reports every window within ε (the paper's refs [10, 18, 19] cover
+/// subsequence matching for certain series; this is the uncertain-model
+/// lift, usable with any [`UncertainDistance`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SubsequenceScan {
+    /// Distance threshold ε.
+    pub epsilon: f64,
+    /// Hop between consecutive windows (1 = every offset).
+    pub stride: usize,
+}
+
+impl SubsequenceScan {
+    /// Creates a scan; panics on negative ε or zero stride.
+    pub fn new(epsilon: f64, stride: usize) -> Self {
+        assert!(epsilon >= 0.0, "ε must be non-negative");
+        assert!(stride > 0, "stride must be positive");
+        Self { epsilon, stride }
+    }
+
+    /// Evaluates the scan: `(offset, distance)` for every window of
+    /// `stream` (length = `pattern.len()`) whose distance to `pattern`
+    /// is within ε, in offset order.
+    ///
+    /// # Panics
+    /// If the pattern is empty or longer than the stream.
+    pub fn evaluate<M: UncertainDistance>(
+        &self,
+        pattern: &UncertainSeries,
+        stream: &UncertainSeries,
+        measure: &M,
+    ) -> Vec<(usize, f64)> {
+        let m = pattern.len();
+        assert!(m > 0, "pattern must be non-empty");
+        assert!(
+            m <= stream.len(),
+            "pattern ({m}) longer than stream ({})",
+            stream.len()
+        );
+        let mut out = Vec::new();
+        let mut offset = 0;
+        while offset + m <= stream.len() {
+            let window = UncertainSeries::new(
+                stream.values()[offset..offset + m].to_vec(),
+                stream.errors()[offset..offset + m].to_vec(),
+            );
+            let d = measure.distance(pattern, &window);
+            if d <= self.epsilon {
+                out.push((offset, d));
+            }
+            offset += self.stride;
+        }
+        out
+    }
+}
+
+/// Top-k motif query: the `k` most similar *pairs* in a collection under
+/// any [`UncertainDistance`] (paper §3.3 lists "top-k motif search" among
+/// the queries DUST supports).
+#[derive(Debug, Clone, Copy)]
+pub struct TopKMotifs {
+    /// Number of motif pairs to return.
+    pub k: usize,
+}
+
+impl TopKMotifs {
+    /// Creates a motif query; panics when `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k }
+    }
+
+    /// Evaluates the query by exhaustive pair scan (the classical motif
+    /// definition): the `k` closest pairs `(i, j, distance)`, `i < j`,
+    /// sorted ascending by distance. O(n²) distance evaluations.
+    pub fn evaluate<M: UncertainDistance>(
+        &self,
+        collection: &[UncertainSeries],
+        measure: &M,
+    ) -> Vec<(usize, usize, f64)> {
+        let mut pairs = Vec::with_capacity(collection.len().saturating_mul(collection.len()) / 2);
+        for i in 0..collection.len() {
+            for j in (i + 1)..collection.len() {
+                pairs.push((i, j, measure.distance(&collection[i], &collection[j])));
+            }
+        }
+        pairs.sort_by(|a, b| {
+            a.2.partial_cmp(&b.2)
+                .expect("finite distances")
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
+        });
+        pairs.truncate(self.k);
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::proud::ProudConfig;
+    use uts_stats::rng::Seed;
+    use uts_tseries::TimeSeries;
+    use uts_uncertain::{perturb, perturb_multi, ErrorFamily, ErrorSpec};
+
+    fn collection(n: usize, len: usize) -> (UncertainSeries, Vec<UncertainSeries>) {
+        let spec = ErrorSpec::constant(ErrorFamily::Normal, 0.2);
+        let seed = Seed::new(17);
+        let mk = |i: usize| {
+            let clean = TimeSeries::from_values(
+                (0..len).map(|t| ((t as f64 / 4.0) + i as f64 * 0.5).sin()),
+            );
+            perturb(&clean, &spec, seed.derive_u64(i as u64))
+        };
+        (mk(0), (0..n).map(mk).collect())
+    }
+
+    #[test]
+    fn range_query_filters_by_epsilon() {
+        let (q, coll) = collection(8, 32);
+        let rq = RangeQuery::new(2.0);
+        let res = rq.evaluate(&q, &coll, &EuclideanMeasure);
+        for (i, s) in coll.iter().enumerate() {
+            let within = euclidean(q.values(), s.values()) <= 2.0;
+            assert_eq!(res.contains(&i), within, "index {i}");
+        }
+        // ε = 0 still matches the identical copy (index 0, same seed).
+        let res = RangeQuery::new(0.0).evaluate(&q, &coll, &EuclideanMeasure);
+        assert_eq!(res, vec![0]);
+    }
+
+    #[test]
+    fn range_query_works_with_all_measures() {
+        let (q, coll) = collection(6, 16);
+        for measure in [
+            Box::new(EuclideanMeasure) as Box<dyn UncertainDistance>,
+            Box::new(Dust::default()),
+            Box::new(Uma::default()),
+            Box::new(Uema::default()),
+        ] {
+            let d0 = measure.distance(&q, &coll[0]);
+            assert!(d0 < 1e-9, "{}: self-distance {d0}", measure.name());
+        }
+    }
+
+    #[test]
+    fn topk_is_sorted_and_truncated() {
+        let (q, coll) = collection(10, 24);
+        let res = TopK::new(3).evaluate(&q, &coll, &EuclideanMeasure);
+        assert_eq!(res.len(), 3);
+        assert!(res.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(res[0].0, 0, "the identical series must rank first");
+        // k larger than the collection.
+        let res = TopK::new(99).evaluate(&q, &coll, &EuclideanMeasure);
+        assert_eq!(res.len(), 10);
+    }
+
+    #[test]
+    fn topk_with_dust_ranks_self_first() {
+        let (q, coll) = collection(6, 16);
+        let res = TopK::new(2).evaluate(&q, &coll, &Dust::default());
+        assert_eq!(res[0].0, 0);
+    }
+
+    #[test]
+    fn prq_proud_monotone_in_tau() {
+        let (q, coll) = collection(8, 32);
+        let proud = Proud::new(ProudConfig::with_sigma(0.2));
+        let eps = 2.0;
+        let loose = ProbabilisticRangeQuery::new(eps, 0.1).evaluate_proud(&proud, &q, &coll);
+        let tight = ProbabilisticRangeQuery::new(eps, 0.9).evaluate_proud(&proud, &q, &coll);
+        // Higher τ can only shrink the answer.
+        for i in &tight {
+            assert!(loose.contains(i));
+        }
+    }
+
+    #[test]
+    fn prq_munich_end_to_end() {
+        let spec = ErrorSpec::constant(ErrorFamily::Normal, 0.3);
+        let seed = Seed::new(23);
+        let mk = |i: usize| {
+            let clean =
+                TimeSeries::from_values((0..6).map(|t| ((t as f64 / 2.0) + i as f64).sin()));
+            perturb_multi(&clean, &spec, 4, seed.derive_u64(i as u64))
+        };
+        let q = mk(0);
+        let coll: Vec<MultiObsSeries> = (0..5).map(mk).collect();
+        let munich = Munich::default();
+        let res = ProbabilisticRangeQuery::new(1.5, 0.5).evaluate_munich(&munich, &q, &coll);
+        assert!(res.contains(&0), "same-seed series must match itself");
+        // Wider ε can only add members.
+        let wider = ProbabilisticRangeQuery::new(5.0, 0.5).evaluate_munich(&munich, &q, &coll);
+        for i in &res {
+            assert!(wider.contains(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "τ must be in")]
+    fn invalid_tau_panics() {
+        let _ = ProbabilisticRangeQuery::new(1.0, 1.5);
+    }
+
+    #[test]
+    fn motifs_find_closest_pair() {
+        let (_, mut coll) = collection(6, 16);
+        // Plant a near-duplicate pair: copy series 2 with its own errors.
+        coll.push(UncertainSeries::new(
+            coll[2].values().to_vec(),
+            coll[2].errors().to_vec(),
+        ));
+        let motifs = TopKMotifs::new(3).evaluate(&coll, &EuclideanMeasure);
+        assert_eq!(motifs.len(), 3);
+        // The planted duplicate pair (2, 6) must rank first at distance 0.
+        assert_eq!((motifs[0].0, motifs[0].1), (2, 6));
+        assert!(motifs[0].2 < 1e-12);
+        // Sorted ascending.
+        assert!(motifs.windows(2).all(|w| w[0].2 <= w[1].2));
+    }
+
+    #[test]
+    fn motifs_truncate_to_available_pairs() {
+        let (_, coll) = collection(3, 8);
+        let motifs = TopKMotifs::new(100).evaluate(&coll, &EuclideanMeasure);
+        assert_eq!(motifs.len(), 3); // C(3,2)
+    }
+
+    #[test]
+    fn subsequence_scan_finds_planted_pattern() {
+        use uts_uncertain::{ErrorFamily, PointError};
+        let e = PointError::new(ErrorFamily::Normal, 0.1);
+        // A stream of zeros with the pattern planted at offset 7.
+        let pattern_vals = vec![1.0, 2.0, 3.0, 2.0];
+        let mut stream_vals = vec![0.0; 20];
+        stream_vals[7..11].copy_from_slice(&pattern_vals);
+        let pattern = UncertainSeries::new(pattern_vals, vec![e; 4]);
+        let stream = UncertainSeries::new(stream_vals, vec![e; 20]);
+        let hits = SubsequenceScan::new(0.5, 1).evaluate(&pattern, &stream, &EuclideanMeasure);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 7);
+        assert!(hits[0].1 < 1e-12);
+        // Stride skipping the plant misses it.
+        let hits = SubsequenceScan::new(0.5, 6).evaluate(&pattern, &stream, &EuclideanMeasure);
+        assert!(hits.is_empty());
+        // Huge ε matches every window.
+        let hits = SubsequenceScan::new(1e9, 1).evaluate(&pattern, &stream, &EuclideanMeasure);
+        assert_eq!(hits.len(), 17); // 20 − 4 + 1
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than stream")]
+    fn subsequence_pattern_too_long_panics() {
+        use uts_uncertain::{ErrorFamily, PointError};
+        let e = PointError::new(ErrorFamily::Normal, 0.1);
+        let pattern = UncertainSeries::new(vec![0.0; 5], vec![e; 5]);
+        let stream = UncertainSeries::new(vec![0.0; 3], vec![e; 3]);
+        let _ = SubsequenceScan::new(1.0, 1).evaluate(&pattern, &stream, &EuclideanMeasure);
+    }
+}

@@ -1,0 +1,398 @@
+//! Shape-specific generators for datasets with published or well-known
+//! generation processes.
+//!
+//! * **CBF** (cylinder–bell–funnel): the classical Saito (1994) synthetic
+//!   benchmark, with its three published class equations.
+//! * **Synthetic Control**: Alcock & Manolopoulos (1999) control-chart
+//!   patterns — six classes (normal, cyclic, increasing/decreasing trend,
+//!   upward/downward shift).
+//! * **GunPoint-like**: two classes of smooth single-peak motions
+//!   differing in a shoulder artefact (mimicking "draw the gun" vs
+//!   "point the finger").
+//! * **ECG200-like**: periodic P-QRS-T-ish beat complexes, two classes
+//!   (normal vs depressed/inverted ventricular component).
+//! * **Trace-like**: four classes of transient signals (step + decaying
+//!   oscillation combinations), after the TRACE nuclear-plant benchmark.
+
+use rand::Rng;
+use uts_stats::dist::{sample_standard_normal, ContinuousDistribution, Normal};
+use uts_stats::rng::Seed;
+use uts_tseries::TimeSeries;
+
+/// CBF class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CbfClass {
+    /// Plateau of height ~6 on a random interval.
+    Cylinder,
+    /// Linear ramp up to ~6 across the interval.
+    Bell,
+    /// Linear ramp down from ~6 across the interval.
+    Funnel,
+}
+
+/// Generates one CBF series of the given length (Saito's definition:
+/// noise everywhere, plus the class shape on a random interval `[a, b]`
+/// with `a ∼ U[16, 32]`, `b − a ∼ U[32, 96]`, height `6 + η`).
+pub fn cbf_series<R: Rng + ?Sized>(rng: &mut R, class: CbfClass, length: usize) -> TimeSeries {
+    let n = length as f64;
+    // Scale the classical [16,32]/[32,96] interval parameters (defined
+    // for length 128) to the requested length.
+    let a = rng.gen_range(16.0 / 128.0 * n..32.0 / 128.0 * n);
+    let w = rng.gen_range(32.0 / 128.0 * n..96.0 / 128.0 * n);
+    let b = (a + w).min(n - 1.0);
+    let height = 6.0 + sample_standard_normal(rng);
+    let values: Vec<f64> = (0..length)
+        .map(|t| {
+            let t = t as f64;
+            let noise = sample_standard_normal(rng);
+            if t < a || t > b {
+                noise
+            } else {
+                let shape = match class {
+                    CbfClass::Cylinder => 1.0,
+                    CbfClass::Bell => (t - a) / (b - a).max(1.0),
+                    CbfClass::Funnel => (b - t) / (b - a).max(1.0),
+                };
+                height * shape + noise
+            }
+        })
+        .collect();
+    TimeSeries::from_values(values).znormalized()
+}
+
+/// Synthetic-control class (Alcock & Manolopoulos).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlClass {
+    /// White noise around the process mean.
+    Normal,
+    /// Sinusoidal cycle added to the mean.
+    Cyclic,
+    /// Linearly increasing trend.
+    IncreasingTrend,
+    /// Linearly decreasing trend.
+    DecreasingTrend,
+    /// Upward step at a random change point.
+    UpwardShift,
+    /// Downward step at a random change point.
+    DownwardShift,
+}
+
+impl ControlClass {
+    /// The six classes in canonical order.
+    pub const ALL: [ControlClass; 6] = [
+        ControlClass::Normal,
+        ControlClass::Cyclic,
+        ControlClass::IncreasingTrend,
+        ControlClass::DecreasingTrend,
+        ControlClass::UpwardShift,
+        ControlClass::DownwardShift,
+    ];
+}
+
+/// Generates one synthetic-control series (classical parameters: mean 30,
+/// noise std 2, trend gradient `g ∼ U[0.2, 0.5]`, cycle amplitude
+/// `∼ U[10, 15]`, period `∼ U[10, 15]`, shift `∼ U[7.5, 20]` at
+/// `t₀ ∼ U[n/3, 2n/3]`).
+pub fn control_series<R: Rng + ?Sized>(
+    rng: &mut R,
+    class: ControlClass,
+    length: usize,
+) -> TimeSeries {
+    let n = length as f64;
+    let g: f64 = rng.gen_range(0.2..0.5);
+    let amp: f64 = rng.gen_range(10.0..15.0);
+    let period: f64 = rng.gen_range(10.0..15.0);
+    let shift: f64 = rng.gen_range(7.5..20.0);
+    let t0: f64 = rng.gen_range(n / 3.0..2.0 * n / 3.0);
+    let values: Vec<f64> = (0..length)
+        .map(|t| {
+            let t = t as f64;
+            let base = 30.0 + 2.0 * sample_standard_normal(rng);
+            match class {
+                ControlClass::Normal => base,
+                ControlClass::Cyclic => base + amp * (core::f64::consts::TAU * t / period).sin(),
+                ControlClass::IncreasingTrend => base + g * t,
+                ControlClass::DecreasingTrend => base - g * t,
+                ControlClass::UpwardShift => base + if t >= t0 { shift } else { 0.0 },
+                ControlClass::DownwardShift => base - if t >= t0 { shift } else { 0.0 },
+            }
+        })
+        .collect();
+    TimeSeries::from_values(values).znormalized()
+}
+
+/// Generates one GunPoint-like series: a smooth raise-hold-lower arc;
+/// class 0 ("gun") adds a distinct draw/holster dip before and after the
+/// plateau, class 1 ("point") does not.
+pub fn gunpoint_series<R: Rng + ?Sized>(rng: &mut R, class: usize, length: usize) -> TimeSeries {
+    let center: f64 = rng.gen_range(0.45..0.55);
+    let width: f64 = rng.gen_range(0.16..0.22);
+    let amp: f64 = rng.gen_range(0.9..1.1);
+    let dip_amp: f64 = if class == 0 {
+        rng.gen_range(0.25..0.45)
+    } else {
+        0.0
+    };
+    let noise = crate::generator::SmoothNoise::random(rng, 0.03);
+    let values: Vec<f64> = (0..length)
+        .map(|t| {
+            let u = t as f64 / (length - 1) as f64;
+            let z = (u - center) / width;
+            let arc = amp * (-0.5 * z * z).exp();
+            let dip_l = (u - (center - 1.6 * width)) / (0.35 * width);
+            let dip_r = (u - (center + 1.6 * width)) / (0.35 * width);
+            let dips = dip_amp * ((-0.5 * dip_l * dip_l).exp() + (-0.5 * dip_r * dip_r).exp());
+            arc - dips + noise.eval(u)
+        })
+        .collect();
+    TimeSeries::from_values(values).znormalized()
+}
+
+/// Generates one ECG200-like series: beat complexes at a slightly
+/// irregular rate; class 0 is a normal beat, class 1 has a depressed,
+/// widened ventricular component (the "abnormal" class).
+pub fn ecg_series<R: Rng + ?Sized>(rng: &mut R, class: usize, length: usize) -> TimeSeries {
+    let beat_len: f64 = rng.gen_range(28.0..36.0);
+    let phase0: f64 = rng.gen_range(0.0..beat_len);
+    let r_amp: f64 = rng.gen_range(1.6..2.2);
+    let t_amp: f64 = if class == 0 {
+        rng.gen_range(0.35..0.5)
+    } else {
+        // Abnormal: inverted / depressed T wave.
+        rng.gen_range(-0.45..-0.25)
+    };
+    let qrs_width: f64 = if class == 0 { 0.9 } else { 1.8 };
+    let values: Vec<f64> = (0..length)
+        .map(|t| {
+            let phase = (t as f64 + phase0) % beat_len / beat_len; // [0,1) within beat
+            let bump = |c: f64, w: f64, a: f64| {
+                let z = (phase - c) / w;
+                a * (-0.5 * z * z).exp()
+            };
+            let p = bump(0.18, 0.035, 0.25);
+            let q = bump(0.36, 0.012, -0.3);
+            let r = bump(0.40, 0.015 * qrs_width, r_amp);
+            let s = bump(0.44, 0.012, -0.45);
+            let tw = bump(0.62, 0.06, t_amp);
+            p + q + r + s + tw + 0.04 * sample_standard_normal(rng)
+        })
+        .collect();
+    TimeSeries::from_values(values).znormalized()
+}
+
+/// Generates one Trace-like series: four classes combining a step change
+/// (present/absent) with a decaying oscillation (present/absent), after
+/// the TRACE transient-classification benchmark.
+pub fn trace_series<R: Rng + ?Sized>(rng: &mut R, class: usize, length: usize) -> TimeSeries {
+    let has_step = class & 1 == 1;
+    let has_oscillation = class & 2 == 2;
+    let t0: f64 = rng.gen_range(0.3..0.5);
+    let osc_freq: f64 = rng.gen_range(6.0..9.0);
+    let decay: f64 = rng.gen_range(4.0..7.0);
+    let step_height: f64 = rng.gen_range(0.8..1.2);
+    let values: Vec<f64> = (0..length)
+        .map(|t| {
+            let u = t as f64 / (length - 1) as f64;
+            let mut v = 0.1 * (core::f64::consts::TAU * 0.7 * u).sin();
+            if has_step && u >= t0 {
+                v += step_height;
+            }
+            if has_oscillation && u >= t0 {
+                let dt = u - t0;
+                v += 0.6 * (-decay * dt).exp() * (core::f64::consts::TAU * osc_freq * dt).sin();
+            }
+            v + 0.01 * sample_standard_normal(rng)
+        })
+        .collect();
+    TimeSeries::from_values(values).znormalized()
+}
+
+/// Generates a Beef/Coffee/OliveOil-like spectrometry series: a shared
+/// smooth absorbance spectrum with tiny class-specific band differences —
+/// naturally *tight* datasets (food spectra mostly look identical).
+pub fn spectro_series<R: Rng + ?Sized>(
+    rng: &mut R,
+    class: usize,
+    n_classes: usize,
+    length: usize,
+    class_seed: Seed,
+    separation: f64,
+) -> TimeSeries {
+    // The shared spectrum: fixed by the class_seed root so that all
+    // series of the dataset agree on it.
+    let mut base_rng = class_seed.derive("spectrum").rng();
+    let base = crate::generator::Template::random(&mut base_rng, 8, 4, 1.0);
+    // Class-specific bands: a couple of small bumps whose position is
+    // deterministic per class.
+    let mut cls_rng = class_seed
+        .derive("bands")
+        .derive_u64(class as u64 % n_classes as u64)
+        .rng();
+    let band = crate::generator::Template::random(&mut cls_rng, 2, 0, separation);
+    let noise = crate::generator::SmoothNoise::random(rng, 0.05);
+    let gain: f64 = rng.gen_range(0.95..1.05);
+    let values: Vec<f64> = (0..length)
+        .map(|t| {
+            let u = t as f64 / (length - 1) as f64;
+            gain * (base.eval(u) + band.eval(u)) + noise.eval(u)
+        })
+        .collect();
+    TimeSeries::from_values(values).znormalized()
+}
+
+/// Verifies that pairwise class means separate: used by tests and the
+/// catalogue smoke-checks.
+pub fn nearest_centroid_accuracy(series: &[TimeSeries], labels: &[usize], n_classes: usize) -> f64 {
+    assert_eq!(series.len(), labels.len());
+    let len = series[0].len();
+    let mut centroids = vec![vec![0.0; len]; n_classes];
+    let mut counts = vec![0usize; n_classes];
+    for (s, &l) in series.iter().zip(labels) {
+        for (i, v) in s.iter().enumerate() {
+            centroids[l][i] += v;
+        }
+        counts[l] += 1;
+    }
+    for (c, &n) in centroids.iter_mut().zip(&counts) {
+        if n > 0 {
+            for v in c.iter_mut() {
+                *v /= n as f64;
+            }
+        }
+    }
+    let mut correct = 0usize;
+    for (s, &l) in series.iter().zip(labels) {
+        let mut best = (f64::INFINITY, 0usize);
+        for (ci, c) in centroids.iter().enumerate() {
+            if counts[ci] == 0 {
+                continue;
+            }
+            let d = uts_tseries::euclidean(s.values(), c);
+            if d < best.0 {
+                best = (d, ci);
+            }
+        }
+        if best.1 == l {
+            correct += 1;
+        }
+    }
+    correct as f64 / series.len() as f64
+}
+
+/// Convenience: iterate `n` seeded series from a per-series generator.
+pub fn generate_with<F>(n: usize, n_classes: usize, seed: Seed, mut f: F) -> (Vec<TimeSeries>, Vec<usize>)
+where
+    F: FnMut(&mut rand::rngs::StdRng, usize) -> TimeSeries,
+{
+    let mut series = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % n_classes;
+        let mut rng = seed.derive("series").derive_u64(i as u64).rng();
+        series.push(f(&mut rng, class));
+        labels.push(class);
+    }
+    (series, labels)
+}
+
+/// Suppress an unused-import warning when the Normal re-export is only
+/// used by doctests on some feature combinations.
+#[allow(unused)]
+fn _normal_anchor() {
+    let _ = Normal::STANDARD.mean();
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::generator::lag1_autocorrelation;
+
+    #[test]
+    fn cbf_classes_are_separable() {
+        let seed = Seed::new(3);
+        let (series, labels) = generate_with(90, 3, seed, |rng, class| {
+            let c = [CbfClass::Cylinder, CbfClass::Bell, CbfClass::Funnel][class];
+            cbf_series(rng, c, 128)
+        });
+        let acc = nearest_centroid_accuracy(&series, &labels, 3);
+        assert!(acc > 0.7, "CBF centroid accuracy {acc}");
+    }
+
+    #[test]
+    fn control_classes_are_separable() {
+        let seed = Seed::new(4);
+        let (series, labels) = generate_with(120, 6, seed, |rng, class| {
+            control_series(rng, ControlClass::ALL[class], 60)
+        });
+        let acc = nearest_centroid_accuracy(&series, &labels, 6);
+        assert!(acc > 0.6, "synthetic-control centroid accuracy {acc}");
+    }
+
+    #[test]
+    fn gunpoint_classes_differ() {
+        let seed = Seed::new(5);
+        let (series, labels) =
+            generate_with(60, 2, seed, |rng, class| gunpoint_series(rng, class, 150));
+        let acc = nearest_centroid_accuracy(&series, &labels, 2);
+        assert!(acc > 0.85, "gunpoint centroid accuracy {acc}");
+        // Smoothness: this dataset is nearly noise-free.
+        for s in &series {
+            assert!(lag1_autocorrelation(s.values()) > 0.9);
+        }
+    }
+
+    #[test]
+    fn ecg_classes_differ() {
+        let seed = Seed::new(6);
+        let (series, labels) =
+            generate_with(80, 2, seed, |rng, class| ecg_series(rng, class, 96));
+        let acc = nearest_centroid_accuracy(&series, &labels, 2);
+        assert!(acc > 0.7, "ecg centroid accuracy {acc}");
+    }
+
+    #[test]
+    fn trace_classes_differ() {
+        let seed = Seed::new(7);
+        let (series, labels) =
+            generate_with(80, 4, seed, |rng, class| trace_series(rng, class, 275));
+        let acc = nearest_centroid_accuracy(&series, &labels, 4);
+        assert!(acc > 0.8, "trace centroid accuracy {acc}");
+    }
+
+    #[test]
+    fn spectro_series_are_tight() {
+        let seed = Seed::new(8);
+        let class_seed = Seed::new(8).derive("oliveoil");
+        let (series, _) = generate_with(40, 4, seed, |rng, class| {
+            spectro_series(rng, class, 4, 570, class_seed, 0.15)
+        });
+        // All spectra share the same base: average pairwise distance stays
+        // far below the loose-dataset regime (~sqrt(2n) ≈ 33.8 for
+        // z-normalised uncorrelated pairs of this length).
+        let mut acc = 0.0;
+        let mut count = 0;
+        for i in 0..series.len() {
+            for j in (i + 1)..series.len() {
+                acc += uts_tseries::euclidean(series[i].values(), series[j].values());
+                count += 1;
+            }
+        }
+        let avg = acc / count as f64;
+        assert!(avg < 15.0, "spectro datasets must be tight, avg distance {avg}");
+    }
+
+    #[test]
+    fn all_specials_produce_valid_series() {
+        let mut rng = Seed::new(9).rng();
+        for len in [32, 100, 301] {
+            assert_eq!(cbf_series(&mut rng, CbfClass::Bell, len).len(), len);
+            assert_eq!(
+                control_series(&mut rng, ControlClass::Cyclic, len).len(),
+                len
+            );
+            assert_eq!(gunpoint_series(&mut rng, 1, len).len(), len);
+            assert_eq!(ecg_series(&mut rng, 0, len).len(), len);
+            assert_eq!(trace_series(&mut rng, 3, len).len(), len);
+        }
+    }
+}

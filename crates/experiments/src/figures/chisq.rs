@@ -1,0 +1,65 @@
+//! Section 4.1.1 in-text experiment — the chi-square uniformity test.
+//!
+//! "Since DUST requires to know the distribution of values of the time
+//! series, and additionally makes the assumption that this distribution
+//! is uniform, we tested the datasets to check if this assumption holds.
+//! According to the Chi-square test, the hypothesis that the datasets
+//! follow the uniform distribution was rejected (for all datasets) with
+//! confidence level α = 0.01."
+
+use uts_stats::chi_square_uniformity;
+
+use crate::config::ExpConfig;
+use crate::figures;
+use crate::table::Table;
+
+/// Histogram bins used by the goodness-of-fit test.
+const BINS: usize = 20;
+/// The paper's significance level.
+const ALPHA: f64 = 0.01;
+
+/// Runs the test on every dataset; returns one table.
+pub fn run(config: &ExpConfig) -> Vec<Table> {
+    let datasets = figures::datasets(config);
+    let mut table = Table::new(
+        format!("Section 4.1.1: chi-square uniformity test per dataset (alpha = {ALPHA})"),
+        vec![
+            "dataset".into(),
+            "n_values".into(),
+            "chi2".into(),
+            "dof".into(),
+            "p_value".into(),
+            "rejected".into(),
+        ],
+    );
+    for dataset in &datasets {
+        let values = dataset.all_values();
+        let outcome = chi_square_uniformity(&values, BINS)
+            .expect("every dataset has enough values for the test");
+        table.push_row(vec![
+            dataset.meta.name.to_string(),
+            values.len().to_string(),
+            format!("{:.1}", outcome.statistic),
+            outcome.dof.to_string(),
+            format!("{:.3e}", outcome.p_value),
+            if outcome.reject_at(ALPHA) { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::config::Scale;
+
+    #[test]
+    fn all_datasets_reject_uniformity() {
+        let config = ExpConfig::with_scale(Scale::Quick);
+        let tables = run(&config);
+        assert_eq!(tables[0].rows.len(), 17);
+        for row in &tables[0].rows {
+            assert_eq!(row[5], "yes", "{}: uniformity not rejected", row[0]);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Figures 6 and 7 — precision and recall, averaged over all datasets,
+//! as a function of the error standard deviation, for all three error
+//! distributions.
+//!
+//! Figure 6 reports PROUD (with the optimal τ per σ), Figure 7 DUST.
+//! The paper's headline observation: recall stays relatively high
+//! (63–83% for PROUD) while precision collapses as σ grows — uncertainty
+//! mostly manufactures false positives under the calibrated thresholds.
+
+use uts_uncertain::{ErrorFamily, ErrorSpec};
+
+use crate::config::ExpConfig;
+use crate::figures;
+use crate::runner::{
+    build_task, pick_queries, technique_scores, technique_scores_optimal_tau, ReportedError,
+    ScoreAgg,
+};
+use crate::table::Table;
+
+/// Which figure (technique) to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Which {
+    /// Figure 6: PROUD.
+    Proud,
+    /// Figure 7: DUST.
+    Dust,
+}
+
+/// Runs the experiment; returns `[precision table, recall table]`.
+pub fn run(config: &ExpConfig, which: Which) -> Vec<Table> {
+    let datasets = figures::datasets(config);
+    let dust_t = figures::dust();
+    let (fig_no, name) = match which {
+        Which::Proud => (6, "PROUD"),
+        Which::Dust => (7, "DUST"),
+    };
+    let headers = vec![
+        "sigma".into(),
+        "uniform".into(),
+        "normal".into(),
+        "exponential".into(),
+    ];
+    let mut precision_table = Table::new(
+        format!("Figure {fig_no}(a): precision for {name}, averaged over all datasets"),
+        headers.clone(),
+    );
+    let mut recall_table = Table::new(
+        format!("Figure {fig_no}(b): recall for {name}, averaged over all datasets"),
+        headers,
+    );
+
+    for sigma in config.scale.sigma_grid() {
+        let mut p_cells = vec![format!("{sigma:.1}")];
+        let mut r_cells = vec![format!("{sigma:.1}")];
+        for family in [
+            ErrorFamily::Uniform,
+            ErrorFamily::Normal,
+            ErrorFamily::Exponential,
+        ] {
+            let spec = ErrorSpec::constant(family, sigma);
+            let mut agg = ScoreAgg::default();
+            for dataset in &datasets {
+                let seed = config
+                    .seed
+                    .derive("fig6-7")
+                    .derive(dataset.meta.name)
+                    .derive(family.name())
+                    .derive_u64((sigma * 1000.0) as u64);
+                let task = build_task(
+                    dataset,
+                    &spec,
+                    ReportedError::Truthful,
+                    None,
+                    config.ground_truth_k,
+                    seed,
+                );
+                let queries =
+                    pick_queries(task.len(), config.scale.queries_per_dataset(), seed);
+                let scores = match which {
+                    Which::Proud => {
+                        technique_scores_optimal_tau(
+                            &task,
+                            &queries,
+                            &figures::proud_with_sigma(sigma),
+                            &config.scale.tau_grid(),
+                        )
+                        .1
+                    }
+                    Which::Dust => technique_scores(&task, &queries, &dust_t),
+                };
+                agg.merge(&scores);
+            }
+            p_cells.push(Table::cell_ci(
+                agg.precision.mean(),
+                agg.precision.confidence_interval(0.95).half_width,
+            ));
+            r_cells.push(Table::cell_ci(
+                agg.recall.mean(),
+                agg.recall.confidence_interval(0.95).half_width,
+            ));
+        }
+        precision_table.push_row(p_cells);
+        recall_table.push_row(r_cells);
+    }
+    vec![precision_table, recall_table]
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::config::Scale;
+
+    #[test]
+    fn dust_variant_shape() {
+        let config = ExpConfig::with_scale(Scale::Quick);
+        let tables = run(&config, Which::Dust);
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].title.contains("Figure 7(a)"));
+        assert_eq!(tables[0].rows.len(), Scale::Quick.sigma_grid().len());
+        assert_eq!(tables[1].rows.len(), Scale::Quick.sigma_grid().len());
+    }
+}

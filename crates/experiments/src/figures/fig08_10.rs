@@ -1,0 +1,130 @@
+//! Figures 8, 9 and 10 — per-dataset F1 of PROUD, DUST and Euclidean
+//! under the mixed-error workloads of paper §4.2.3.
+//!
+//! * **Figure 8** — mixed *normal* error: 20% of points at σ = 1.0, 80%
+//!   at σ = 0.4. PROUD cannot model per-point σ and is told σ = 0.7;
+//!   DUST receives the true per-point information.
+//! * **Figure 9** — mixed *families* (uniform, normal, exponential) with
+//!   the same 20/80 σ split; again σ = 0.7 for PROUD.
+//! * **Figure 10** — same perturbation as Figure 8, but the per-point σ
+//!   is *misreported* to DUST as a constant 0.7 ("inform DUST (wrongly)
+//!   that the standard deviation is 0.7") — the information-quality
+//!   ablation in which DUST's edge over Euclidean disappears.
+
+use uts_uncertain::{ErrorFamily, ErrorSpec};
+
+use crate::config::ExpConfig;
+use crate::figures;
+use crate::runner::{
+    build_task, pick_queries, technique_scores, technique_scores_optimal_tau, ReportedError,
+};
+use crate::table::Table;
+
+/// Which of the three figures to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Which {
+    /// Figure 8: mixed normal error, truthful reporting to DUST.
+    MixedNormal,
+    /// Figure 9: mixed uniform+normal+exponential error.
+    MixedFamilies,
+    /// Figure 10: mixed normal error, σ misreported as 0.7.
+    MisreportedSigma,
+}
+
+/// The σ PROUD is told in all three workloads (paper: 0.7).
+const PROUD_SIGMA: f64 = 0.7;
+
+/// Runs the experiment; returns a single per-dataset table.
+pub fn run(config: &ExpConfig, which: Which) -> Vec<Table> {
+    let datasets = figures::datasets(config);
+    let dust_t = figures::dust();
+    let (title, spec, reported) = match which {
+        Which::MixedNormal => (
+            "Figure 8: F1 per dataset, mixed normal error (20% sigma=1.0, 80% sigma=0.4)",
+            ErrorSpec::paper_mixed(ErrorFamily::Normal),
+            ReportedError::Truthful,
+        ),
+        Which::MixedFamilies => (
+            "Figure 9: F1 per dataset, mixed uniform/normal/exponential error (20% sigma=1.0, 80% sigma=0.4)",
+            ErrorSpec::paper_mixed_families(),
+            ReportedError::Truthful,
+        ),
+        Which::MisreportedSigma => (
+            "Figure 10: F1 per dataset, mixed normal error with sigma misreported as 0.7",
+            ErrorSpec::paper_mixed(ErrorFamily::Normal),
+            ReportedError::ConstantSigma(PROUD_SIGMA),
+        ),
+    };
+    let mut table = Table::new(
+        title,
+        vec![
+            "dataset".into(),
+            "Euclidean".into(),
+            "DUST".into(),
+            "PROUD".into(),
+        ],
+    );
+    for dataset in &datasets {
+        let seed = config
+            .seed
+            .derive("fig8-10")
+            .derive(dataset.meta.name)
+            .derive_u64(which as u64);
+        let task = build_task(
+            dataset,
+            &spec,
+            reported,
+            None,
+            config.ground_truth_k,
+            seed,
+        );
+        let queries = pick_queries(task.len(), config.scale.queries_per_dataset(), seed);
+        let eucl = technique_scores(&task, &queries, &figures::euclidean());
+        let dust = technique_scores(&task, &queries, &dust_t);
+        let (_, proud) = technique_scores_optimal_tau(
+            &task,
+            &queries,
+            &figures::proud_with_sigma(PROUD_SIGMA),
+            &config.scale.tau_grid(),
+        );
+        table.push_row(vec![
+            dataset.meta.name.to_string(),
+            Table::cell_ci(eucl.f1.mean(), eucl.f1.confidence_interval(0.95).half_width),
+            Table::cell_ci(dust.f1.mean(), dust.f1.confidence_interval(0.95).half_width),
+            Table::cell_ci(proud.f1.mean(), proud.f1.confidence_interval(0.95).half_width),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::config::Scale;
+
+    #[test]
+    fn fig10_misreports_sigma() {
+        // Verify the wiring: with MisreportedSigma the tasks carry σ=0.7.
+        let config = ExpConfig::with_scale(Scale::Quick);
+        let datasets = figures::datasets(&config);
+        let spec = ErrorSpec::paper_mixed(ErrorFamily::Normal);
+        let task = build_task(
+            &datasets[0],
+            &spec,
+            ReportedError::ConstantSigma(PROUD_SIGMA),
+            None,
+            config.ground_truth_k,
+            config.seed,
+        );
+        assert!(task.uncertain()[0].errors().iter().all(|e| e.sigma == 0.7));
+    }
+
+    #[test]
+    fn fig8_table_covers_all_datasets() {
+        let config = ExpConfig::with_scale(Scale::Quick);
+        let tables = run(&config, Which::MixedNormal);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 17);
+        assert_eq!(tables[0].rows[0][0], "50words");
+    }
+}

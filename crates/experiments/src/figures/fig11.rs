@@ -1,0 +1,85 @@
+//! Figure 11 — average CPU time per query (ms, log scale in the paper)
+//! for PROUD, DUST and Euclidean, averaged over all datasets, varying the
+//! error standard deviation (normal errors).
+//!
+//! Paper §4.3 observations to reproduce: σ barely affects any technique;
+//! Euclidean is fastest; DUST costs a small constant factor over
+//! Euclidean once its lookup tables are built; PROUD (without the wavelet
+//! synopsis) is the slowest of the three; MUNICH is omitted because it is
+//! "orders of magnitude more expensive … (i.e., in the order of minutes)".
+
+use uts_uncertain::{ErrorFamily, ErrorSpec};
+
+use crate::config::ExpConfig;
+use crate::figures;
+use crate::runner::{build_task, pick_queries, time_per_query_ms, ReportedError};
+use crate::table::Table;
+
+/// Runs the experiment; returns a single σ × technique timing table.
+pub fn run(config: &ExpConfig) -> Vec<Table> {
+    let datasets = figures::datasets(config);
+    let dust_t = figures::dust();
+    let mut table = Table::new(
+        "Figure 11: average time per query (ms) vs error standard deviation, normal error",
+        vec![
+            "sigma".into(),
+            "PROUD".into(),
+            "DUST".into(),
+            "Euclidean".into(),
+        ],
+    );
+    for sigma in config.scale.sigma_grid() {
+        let spec = ErrorSpec::constant(ErrorFamily::Normal, sigma);
+        let mut totals = [0.0f64; 3];
+        for dataset in &datasets {
+            let seed = config
+                .seed
+                .derive("fig11")
+                .derive(dataset.meta.name)
+                .derive_u64((sigma * 1000.0) as u64);
+            let task = build_task(
+                dataset,
+                &spec,
+                ReportedError::Truthful,
+                None,
+                config.ground_truth_k,
+                seed,
+            );
+            let queries = pick_queries(task.len(), config.scale.queries_per_dataset(), seed);
+            // Fixed τ: timing measures the query path, not the τ search.
+            let proud = figures::proud_with_sigma(sigma).with_tau(0.5);
+            totals[0] += time_per_query_ms(&task, &queries, &proud);
+            totals[1] += time_per_query_ms(&task, &queries, &dust_t);
+            totals[2] += time_per_query_ms(&task, &queries, &figures::euclidean());
+        }
+        let n = datasets.len() as f64;
+        table.push_row(vec![
+            format!("{sigma:.1}"),
+            Table::cell(totals[0] / n),
+            Table::cell(totals[1] / n),
+            Table::cell(totals[2] / n),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::config::Scale;
+
+    #[test]
+    fn timing_table_shape() {
+        let config = ExpConfig::with_scale(Scale::Quick);
+        let tables = run(&config);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), Scale::Quick.sigma_grid().len());
+        // All timings parse as positive numbers.
+        for row in &tables[0].rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 12 — average CPU time per query (ms, log scale in the paper)
+//! for PROUD, DUST and Euclidean, varying the time-series length from 50
+//! to 1000 points ("time series of different lengths have been obtained
+//! resampling the raw sequences"), with normal error.
+//!
+//! The paper's observation to reproduce: time grows linearly in the
+//! length for all three techniques.
+
+use uts_datasets::Dataset;
+use uts_tseries::resample::resample_series;
+use uts_uncertain::{ErrorFamily, ErrorSpec};
+
+use crate::config::ExpConfig;
+use crate::figures;
+use crate::runner::{build_task, pick_queries, time_per_query_ms, ReportedError};
+use crate::table::Table;
+
+/// Length grid (the paper plots 0–1000).
+const LENGTHS: [usize; 7] = [50, 100, 200, 400, 600, 800, 1000];
+/// Fixed error σ for the sweep.
+const SIGMA: f64 = 0.6;
+
+/// Runs the experiment; returns a single length × technique timing table.
+pub fn run(config: &ExpConfig) -> Vec<Table> {
+    let datasets = figures::datasets(config);
+    let dust_t = figures::dust();
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, SIGMA);
+    let mut table = Table::new(
+        "Figure 12: average time per query (ms) vs series length (resampled), normal error",
+        vec![
+            "length".into(),
+            "PROUD".into(),
+            "DUST".into(),
+            "Euclidean".into(),
+        ],
+    );
+    for len in LENGTHS {
+        let mut totals = [0.0f64; 3];
+        for dataset in &datasets {
+            let resampled = Dataset {
+                meta: dataset.meta,
+                series: dataset
+                    .series
+                    .iter()
+                    .map(|s| resample_series(s, len))
+                    .collect(),
+                labels: dataset.labels.clone(),
+            };
+            let seed = config
+                .seed
+                .derive("fig12")
+                .derive(dataset.meta.name)
+                .derive_u64(len as u64);
+            let task = build_task(
+                &resampled,
+                &spec,
+                ReportedError::Truthful,
+                None,
+                config.ground_truth_k,
+                seed,
+            );
+            let queries = pick_queries(task.len(), config.scale.queries_per_dataset(), seed);
+            let proud = figures::proud_with_sigma(SIGMA).with_tau(0.5);
+            totals[0] += time_per_query_ms(&task, &queries, &proud);
+            totals[1] += time_per_query_ms(&task, &queries, &dust_t);
+            totals[2] += time_per_query_ms(&task, &queries, &figures::euclidean());
+        }
+        let n = datasets.len() as f64;
+        table.push_row(vec![
+            len.to_string(),
+            Table::cell(totals[0] / n),
+            Table::cell(totals[1] / n),
+            Table::cell(totals[2] / n),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn lengths_cover_paper_range() {
+        assert_eq!(LENGTHS[0], 50);
+        assert_eq!(*LENGTHS.last().unwrap(), 1000);
+    }
+}

@@ -1,0 +1,119 @@
+//! Figures 13 and 14 — UMA/UEMA parameter sensitivity (paper §5.2).
+//!
+//! * **Figure 13**: F1 as a function of the window half-width `w ∈ 0…20`
+//!   for UMA and UEMA with λ = 0.1 and λ = 1. The paper's findings: F1
+//!   rises sharply from w = 0 (pure Euclidean) to w ≈ 2, then falls
+//!   ("distant neighbours do not carry much information"); large λ makes
+//!   the window size irrelevant.
+//! * **Figure 14**: F1 as a function of the decay λ ∈ 0…1 for UEMA with
+//!   w = 5 and w = 10; λ has only a small effect, especially for small
+//!   windows.
+//!
+//! Both use the stress-test workload of §5.2: mixed normal error, 20% of
+//! points at σ = 1.0 and 80% at σ = 0.4, averaged over all datasets.
+
+use uts_core::matching::Technique;
+use uts_core::uma::{Uema, Uma};
+use uts_uncertain::{ErrorFamily, ErrorSpec};
+
+use crate::config::ExpConfig;
+use crate::figures;
+use crate::runner::{build_task, pick_queries, technique_scores, ReportedError, ScoreAgg};
+use crate::table::Table;
+
+/// Window sweep of Figure 13.
+const WINDOWS: [usize; 9] = [0, 1, 2, 4, 6, 8, 12, 16, 20];
+/// λ sweep of Figure 14.
+const LAMBDAS: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Mean F1 of a filter technique over all datasets under the §5.2
+/// workload.
+fn mean_f1(config: &ExpConfig, datasets: &[uts_datasets::Dataset], technique: &Technique) -> ScoreAgg {
+    let spec = ErrorSpec::paper_mixed(ErrorFamily::Normal);
+    let mut agg = ScoreAgg::default();
+    for dataset in datasets {
+        let seed = config.seed.derive("fig13-14").derive(dataset.meta.name);
+        let task = build_task(
+            dataset,
+            &spec,
+            ReportedError::Truthful,
+            None,
+            config.ground_truth_k,
+            seed,
+        );
+        let queries = pick_queries(task.len(), config.scale.queries_per_dataset(), seed);
+        agg.merge(&technique_scores(&task, &queries, technique));
+    }
+    agg
+}
+
+/// Runs Figure 13; returns one table (w × {UMA, UEMA-0.1, UEMA-1}).
+pub fn run_fig13(config: &ExpConfig) -> Vec<Table> {
+    let datasets = figures::datasets(config);
+    let mut table = Table::new(
+        "Figure 13: F1 vs window half-width w for UMA and UEMA (lambda = 0.1, 1), mixed normal error",
+        vec![
+            "w".into(),
+            "UMA".into(),
+            "UEMA-0.1".into(),
+            "UEMA-1".into(),
+        ],
+    );
+    for w in WINDOWS {
+        let uma = mean_f1(config, &datasets, &Technique::Uma(Uma::new(w)));
+        let uema01 = mean_f1(config, &datasets, &Technique::Uema(Uema::new(w, 0.1)));
+        let uema1 = mean_f1(config, &datasets, &Technique::Uema(Uema::new(w, 1.0)));
+        table.push_row(vec![
+            w.to_string(),
+            Table::cell_ci(uma.f1.mean(), uma.f1.confidence_interval(0.95).half_width),
+            Table::cell_ci(uema01.f1.mean(), uema01.f1.confidence_interval(0.95).half_width),
+            Table::cell_ci(uema1.f1.mean(), uema1.f1.confidence_interval(0.95).half_width),
+        ]);
+    }
+    vec![table]
+}
+
+/// Runs Figure 14; returns one table (λ × {UEMA-5, UEMA-10}).
+pub fn run_fig14(config: &ExpConfig) -> Vec<Table> {
+    let datasets = figures::datasets(config);
+    let mut table = Table::new(
+        "Figure 14: F1 vs decay factor lambda for UEMA (w = 5, 10), mixed normal error",
+        vec!["lambda".into(), "UEMA-5".into(), "UEMA-10".into()],
+    );
+    for lambda in LAMBDAS {
+        let w5 = mean_f1(config, &datasets, &Technique::Uema(Uema::new(5, lambda)));
+        let w10 = mean_f1(config, &datasets, &Technique::Uema(Uema::new(10, lambda)));
+        table.push_row(vec![
+            format!("{lambda:.1}"),
+            Table::cell_ci(w5.f1.mean(), w5.f1.confidence_interval(0.95).half_width),
+            Table::cell_ci(w10.f1.mean(), w10.f1.confidence_interval(0.95).half_width),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::config::Scale;
+
+    #[test]
+    fn sweeps_cover_paper_ranges() {
+        assert_eq!(WINDOWS[0], 0);
+        assert_eq!(*WINDOWS.last().unwrap(), 20);
+        assert_eq!(LAMBDAS[0], 0.0);
+        assert_eq!(*LAMBDAS.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn lambda_zero_column_matches_uma() {
+        // Figure 14 at λ=0 must equal UMA with the same w (the paper
+        // notes "the case λ = 0 is equivalent to UMA").
+        let config = ExpConfig::with_scale(Scale::Quick);
+        let datasets: Vec<uts_datasets::Dataset> =
+            figures::datasets(&config).into_iter().take(2).collect();
+        let uema0 = mean_f1(&config, &datasets, &Technique::Uema(Uema::new(5, 0.0)));
+        let uma5 = mean_f1(&config, &datasets, &Technique::Uma(Uma::new(5)));
+        assert!((uema0.f1.mean() - uma5.f1.mean()).abs() < 1e-12);
+    }
+}

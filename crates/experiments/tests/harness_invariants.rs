@@ -1,0 +1,82 @@
+//! Invariants of the experiment harness that the figure results rest on.
+
+use proptest::prelude::*;
+use uts_core::matching::Technique;
+use uts_core::proud::{Proud, ProudConfig};
+use uts_datasets::{Catalogue, DatasetId};
+use uts_experiments::runner::{
+    build_task, parallel_map, pick_queries, technique_scores, technique_scores_optimal_tau,
+    ReportedError,
+};
+use uts_stats::rng::Seed;
+use uts_uncertain::{ErrorFamily, ErrorSpec};
+
+/// The optimal-τ fast path (one probability pass + thresholding) must
+/// agree exactly with re-running the full answer-set protocol at the
+/// chosen τ — this is what makes the harness's τ search sound.
+#[test]
+fn tau_fast_path_equals_answer_set_protocol() {
+    let seed = Seed::new(41);
+    let dataset = Catalogue::new(seed).generate_scaled(DatasetId::Coffee, 24);
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, 0.6);
+    let task = build_task(&dataset, &spec, ReportedError::Truthful, None, 5, seed);
+    let queries = pick_queries(task.len(), 8, seed);
+    let proud = Technique::Proud {
+        proud: Proud::new(ProudConfig::with_sigma(0.6)),
+        tau: 0.5,
+    };
+    let grid = [1e-12, 1e-6, 0.01, 0.2, 0.5, 0.8];
+    let (best_tau, fast) = technique_scores_optimal_tau(&task, &queries, &proud, &grid);
+    // Re-run the slow path at the chosen τ.
+    let slow = technique_scores(&task, &queries, &proud.with_tau(best_tau));
+    assert!(
+        (fast.f1.mean() - slow.f1.mean()).abs() < 1e-12,
+        "fast {} vs slow {}",
+        fast.f1.mean(),
+        slow.f1.mean()
+    );
+    assert!((fast.precision.mean() - slow.precision.mean()).abs() < 1e-12);
+    assert!((fast.recall.mean() - slow.recall.mean()).abs() < 1e-12);
+}
+
+/// Whole-harness determinism: two independent runs of a figure-style
+/// evaluation from the same seed give identical aggregates.
+#[test]
+fn harness_is_deterministic() {
+    let run = || {
+        let seed = Seed::new(42);
+        let dataset = Catalogue::new(seed).generate_scaled(DatasetId::Trace, 20);
+        let spec = ErrorSpec::paper_mixed(ErrorFamily::Exponential);
+        let task = build_task(&dataset, &spec, ReportedError::Truthful, None, 5, seed);
+        let queries = pick_queries(task.len(), 6, seed);
+        technique_scores(&task, &queries, &Technique::Euclidean)
+            .f1
+            .mean()
+    };
+    assert_eq!(run().to_bits(), run().to_bits());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// parallel_map over any payload preserves order and multiplicity.
+    #[test]
+    fn parallel_map_is_order_preserving(items in prop::collection::vec(any::<i64>(), 0..300)) {
+        let doubled = parallel_map(&items, |&x| x.wrapping_mul(2));
+        prop_assert_eq!(doubled.len(), items.len());
+        for (i, v) in doubled.iter().enumerate() {
+            prop_assert_eq!(*v, items[i].wrapping_mul(2));
+        }
+    }
+
+    /// pick_queries yields sorted, unique, in-range indices of the right
+    /// count, deterministically.
+    #[test]
+    fn pick_queries_contract(n in 1usize..500, count in 0usize..600, seed in any::<u64>()) {
+        let q = pick_queries(n, count, Seed::new(seed));
+        prop_assert_eq!(q.len(), count.min(n));
+        prop_assert!(q.windows(2).all(|w| w[1] > w[0]));
+        prop_assert!(q.iter().all(|&i| i < n));
+        prop_assert_eq!(&q, &pick_queries(n, count, Seed::new(seed)));
+    }
+}

@@ -1,0 +1,482 @@
+//! Descriptive statistics: streaming moments, summaries, quantiles,
+//! histograms and Student-t confidence intervals.
+//!
+//! The experiment harness reports "the averages of all these results, as
+//! well as the 95% confidence intervals" (paper §4.1.2); the machinery for
+//! that lives here.
+
+use crate::dist::{ContinuousDistribution, StudentT};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable single-pass estimator; the workspace uses it for
+/// z-normalisation and for aggregating per-query quality scores.
+///
+/// ```
+/// use uts_stats::Moments;
+/// let mut m = Moments::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] { m.push(x); }
+/// assert_eq!(m.count(), 4);
+/// assert!((m.mean() - 2.5).abs() < 1e-12);
+/// assert!((m.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Moments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an accumulator from a slice in one pass.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut m = Self::new();
+        for &x in xs {
+            m.push(x);
+        }
+        m
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator into this one (parallel aggregation).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`); `NaN` when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (divides by `n − 1`); `NaN` for fewer than two points.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s/√n`.
+    pub fn std_error(&self) -> f64 {
+        self.sample_std() / (self.n as f64).sqrt()
+    }
+
+    /// Two-sided Student-t confidence interval for the mean at the given
+    /// confidence level (e.g. `0.95`).
+    ///
+    /// Degenerate inputs are handled conservatively: with fewer than two
+    /// observations the half-width is `NaN`.
+    pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
+        assert!(
+            (0.0..1.0).contains(&level) && level > 0.0,
+            "confidence level must be in (0, 1), got {level}"
+        );
+        if self.n < 2 {
+            return ConfidenceInterval {
+                mean: self.mean(),
+                half_width: f64::NAN,
+                level,
+            };
+        }
+        let t = StudentT::new((self.n - 1) as f64).quantile(0.5 + level / 2.0);
+        ConfidenceInterval {
+            mean: self.mean,
+            half_width: t * self.std_error(),
+            level,
+        }
+    }
+}
+
+/// A symmetric confidence interval `mean ± half_width`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (the sample mean).
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level the interval was built for (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound of the interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `x` falls inside the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo() && x <= self.hi()
+    }
+}
+
+/// Order-statistics summary of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a non-empty sample.
+    ///
+    /// Returns `None` for an empty slice or when any value is NaN (order
+    /// statistics are undefined then).
+    pub fn of(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN by construction"));
+        let m = Moments::from_slice(xs);
+        Some(Self {
+            count: xs.len(),
+            mean: m.mean(),
+            std: if xs.len() > 1 { m.sample_std() } else { 0.0 },
+            min: sorted[0],
+            q25: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q75: quantile_sorted(&sorted, 0.75),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+/// Sample autocorrelation function up to `max_lag` (inclusive),
+/// `acf[0] = 1`.
+///
+/// Temporal correlation of neighbouring points is the property the
+/// paper's winning techniques exploit (§5) and its losing assumption
+/// ignores (§3.1); this estimator is what the workspace uses to verify
+/// generated workloads actually exhibit it. Biased (1/n) normalisation —
+/// the standard choice that keeps the estimated sequence positive
+/// semi-definite.
+///
+/// Returns `None` for series shorter than `max_lag + 2` or with zero
+/// variance.
+pub fn autocorrelation(values: &[f64], max_lag: usize) -> Option<Vec<f64>> {
+    if values.len() < max_lag + 2 {
+        return None;
+    }
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let denom: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if denom <= 0.0 {
+        return None;
+    }
+    let mut acf = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag {
+        let num: f64 = (0..n - lag)
+            .map(|i| (values[i] - mean) * (values[i + lag] - mean))
+            .sum();
+        acf.push(num / denom);
+    }
+    Some(acf)
+}
+
+/// Linear-interpolation quantile of an already-sorted sample
+/// (type-7 estimator, the R/NumPy default).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1], got {q}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(sorted.len() - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Equal-width histogram over a closed range.
+///
+/// Used by the chi-square uniformity test (paper §4.1.1) and by the MUNICH
+/// convolution fallback. Values outside the range are counted in the
+/// nearest edge bin (the uses in this workspace construct ranges covering
+/// the full data, so clamping only ever absorbs floating-point edge spill).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins on `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "invalid range [{lo}, {hi}]");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram spanning `[min, max]` of the data.
+    ///
+    /// Returns `None` when the sample is empty or degenerate (all values
+    /// equal or any NaN).
+    pub fn fit(xs: &[f64], bins: usize) -> Option<Self> {
+        if xs.is_empty() || xs.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if min >= max {
+            return None;
+        }
+        let mut h = Self::new(min, max, bins);
+        for &x in xs {
+            h.push(x);
+        }
+        Some(h)
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        let idx = self.bin_index(x);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Index of the bin `x` falls into (clamped to the edge bins).
+    pub fn bin_index(&self, x: f64) -> usize {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let raw = ((x - self.lo) / w).floor();
+        (raw.max(0.0) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `[lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// Range covered by the histogram.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn moments_basic() {
+        let m = Moments::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.population_variance() - 4.0).abs() < 1e-12);
+        assert!((m.population_std() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 3.0 + 1.0).collect();
+        let whole = Moments::from_slice(&xs);
+        let mut left = Moments::from_slice(&xs[..33]);
+        let right = Moments::from_slice(&xs[33..]);
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.sample_variance() - whole.sample_variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn moments_empty_and_single() {
+        let m = Moments::new();
+        assert!(m.mean().is_nan());
+        assert!(m.sample_variance().is_nan());
+        let mut m = Moments::new();
+        m.push(3.0);
+        assert_eq!(m.mean(), 3.0);
+        assert!(m.sample_variance().is_nan());
+        assert_eq!(m.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn confidence_interval_matches_table() {
+        // n = 5, known data; t_{0.975, 4} = 2.7764.
+        let m = Moments::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let ci = m.confidence_interval(0.95);
+        assert!((ci.mean - 3.0).abs() < 1e-12);
+        // s = sqrt(2.5), se = sqrt(2.5)/sqrt(5) = sqrt(0.5)
+        let want = 2.7764451051977934 * 0.5f64.sqrt();
+        assert!((ci.half_width - want).abs() < 1e-8, "{}", ci.half_width);
+        assert!(ci.contains(3.0));
+        assert!(!ci.contains(10.0));
+    }
+
+    #[test]
+    fn confidence_interval_degenerate() {
+        let mut m = Moments::new();
+        m.push(1.0);
+        let ci = m.confidence_interval(0.95);
+        assert_eq!(ci.mean, 1.0);
+        assert!(ci.half_width.is_nan());
+    }
+
+    #[test]
+    fn summary_order_statistics() {
+        let s = Summary::of(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 3.5).abs() < 1e-12);
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile_sorted(&xs, 0.0), 10.0);
+        assert_eq!(quantile_sorted(&xs, 1.0), 40.0);
+        assert!((quantile_sorted(&xs, 0.5) - 25.0).abs() < 1e-12);
+        assert!((quantile_sorted(&xs, 1.0 / 3.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 2.5, 3.5, 9.9, 10.0, -1.0] {
+            h.push(x);
+        }
+        // -1.0 clamps into bin 0; 10.0 clamps into bin 4.
+        assert_eq!(h.counts(), &[3, 2, 0, 0, 2]);
+        assert_eq!(h.total(), 7);
+        let (lo, hi) = h.bin_edges(1);
+        assert!((lo - 2.0).abs() < 1e-12 && (hi - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acf_known_shapes() {
+        // Lag-0 is always 1.
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 / 10.0).sin()).collect();
+        let acf = autocorrelation(&xs, 5).unwrap();
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        // Smooth sinusoid: strong positive short-lag correlation.
+        assert!(acf[1] > 0.9);
+        // Alternating series: acf[1] ≈ −1.
+        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let acf = autocorrelation(&alt, 2).unwrap();
+        assert!(acf[1] < -0.9);
+        assert!(acf[2] > 0.9);
+    }
+
+    #[test]
+    fn acf_degenerate_inputs() {
+        assert!(autocorrelation(&[1.0, 2.0], 3).is_none());
+        assert!(autocorrelation(&[5.0; 50], 3).is_none());
+    }
+
+    #[test]
+    fn acf_bounded_by_one() {
+        let xs: Vec<f64> = (0..150).map(|i| ((i * i) % 17) as f64).collect();
+        let acf = autocorrelation(&xs, 20).unwrap();
+        assert!(acf.iter().all(|&r| r.abs() <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn histogram_fit_handles_degenerate() {
+        assert!(Histogram::fit(&[], 4).is_none());
+        assert!(Histogram::fit(&[2.0, 2.0, 2.0], 4).is_none());
+        assert!(Histogram::fit(&[1.0, f64::INFINITY], 4).is_none());
+        let h = Histogram::fit(&[0.0, 1.0, 2.0, 3.0], 2).unwrap();
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts(), &[2, 2]);
+    }
+}

@@ -1,0 +1,884 @@
+//! Continuous probability distributions.
+//!
+//! Everything the reproduced techniques need: the normal distribution
+//! (PROUD's CLT machinery, normal perturbation errors), the zero-mean
+//! uniform and shifted exponential (the paper's other two perturbation
+//! families), the chi-square distribution (Section 4.1.1 uniformity test)
+//! and Student-t (95% confidence intervals). All distributions implement
+//! [`ContinuousDistribution`] — pdf/cdf/quantile/moments/sampling — so the
+//! DUST `φ` machinery in `uts-core` can integrate over any of them
+//! generically.
+
+use rand::Rng;
+
+use crate::special::{erfc, ln_gamma, reg_inc_beta, reg_inc_gamma_p};
+
+/// Common interface for one-dimensional continuous distributions.
+pub trait ContinuousDistribution {
+    /// Probability density function at `x`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function `Pr(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Quantile (inverse CDF) at probability `p ∈ (0, 1)`.
+    ///
+    /// Implementations return `-inf`/`+inf` at `p = 0`/`p = 1` when the
+    /// support is unbounded and `NaN` outside `[0, 1]`.
+    fn quantile(&self, p: f64) -> f64;
+
+    /// Distribution mean.
+    fn mean(&self) -> f64;
+
+    /// Distribution variance.
+    fn variance(&self) -> f64;
+
+    /// Standard deviation, `sqrt(variance)`.
+    fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Lower edge of the effective support: below this the pdf is (numerically) zero.
+    ///
+    /// Unbounded distributions report a many-sigma practical bound; exact
+    /// bounds are reported where they exist (e.g. uniform). DUST's numeric
+    /// integration uses this to pick integration limits.
+    fn support_lo(&self) -> f64 {
+        self.mean() - 40.0 * self.std_dev()
+    }
+
+    /// Upper edge of the effective support; see [`Self::support_lo`].
+    fn support_hi(&self) -> f64 {
+        self.mean() + 40.0 * self.std_dev()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Normal
+// ---------------------------------------------------------------------------
+
+/// Normal (Gaussian) distribution `N(μ, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Standard normal `N(0, 1)`.
+    pub const STANDARD: Normal = Normal { mean: 0.0, std: 1.0 };
+
+    /// Creates `N(mean, std²)`. Panics if `std` is not strictly positive
+    /// and finite — a zero-width normal is a modelling bug everywhere this
+    /// crate is used.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(
+            std > 0.0 && std.is_finite() && mean.is_finite(),
+            "Normal::new requires finite mean and std > 0, got mean={mean}, std={std}"
+        );
+        Self { mean, std }
+    }
+
+    /// The distribution mean μ.
+    pub fn mu(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation σ.
+    pub fn sigma(&self) -> f64 {
+        self.std
+    }
+
+    /// Standard normal CDF Φ(z).
+    pub fn phi(z: f64) -> f64 {
+        // Φ(z) = erfc(−z/√2)/2 keeps relative precision in the lower tail.
+        0.5 * erfc(-z / core::f64::consts::SQRT_2)
+    }
+
+    /// Standard normal inverse CDF Φ⁻¹(p) (the "statistics table lookup"
+    /// PROUD performs to find `ε_limit` for a probability threshold τ).
+    ///
+    /// Acklam's rational approximation refined with one Halley step;
+    /// absolute error below 1e-13 over `(1e-300, 1 − 1e-16)`.
+    pub fn phi_inv(p: f64) -> f64 {
+        if p.is_nan() || !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        if p == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        let x = acklam(p);
+        // One Halley refinement against the high-precision CDF.
+        let e = Self::phi(x) - p;
+        let u = e * (2.0 * core::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+        x - u / (1.0 + x * u / 2.0)
+    }
+}
+
+/// Acklam's rational initial estimate for Φ⁻¹.
+fn acklam(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+impl ContinuousDistribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std;
+        (-0.5 * z * z).exp() / (self.std * (2.0 * core::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        Self::phi((x - self.mean) / self.std)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.mean + self.std * Self::phi_inv(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.std * self.std
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std * sample_standard_normal(rng)
+    }
+
+    fn support_lo(&self) -> f64 {
+        self.mean - 40.0 * self.std
+    }
+
+    fn support_hi(&self) -> f64 {
+        self.mean + 40.0 * self.std
+    }
+}
+
+/// Draws a standard normal variate with the Marsaglia polar method.
+///
+/// `rand` (without `rand_distr`, which is not vendored offline) only
+/// provides uniform sampling; the polar method costs ~1.27 uniform pairs
+/// per two variates and has no tail cutoff.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Uniform
+// ---------------------------------------------------------------------------
+
+/// Continuous uniform distribution on `[low, high]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[low, high]`; panics unless
+    /// `low < high` and both are finite.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(
+            low < high && low.is_finite() && high.is_finite(),
+            "Uniform::new requires finite low < high, got [{low}, {high}]"
+        );
+        Self { low, high }
+    }
+
+    /// Zero-mean uniform with standard deviation `sigma`: the paper's
+    /// "uniform error distribution with zero mean and standard deviation σ"
+    /// is `U[−a, a]` with `a = σ·√3`.
+    pub fn zero_mean(sigma: f64) -> Self {
+        assert!(sigma > 0.0, "zero_mean uniform requires sigma > 0");
+        let a = sigma * 3f64.sqrt();
+        Self::new(-a, a)
+    }
+
+    /// Lower bound of the support.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper bound of the support.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// Half-width of the support when centred; `(high − low)/2`.
+    pub fn half_width(&self) -> f64 {
+        (self.high - self.low) / 2.0
+    }
+}
+
+impl ContinuousDistribution for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.low || x > self.high {
+            0.0
+        } else {
+            1.0 / (self.high - self.low)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.low {
+            0.0
+        } else if x >= self.high {
+            1.0
+        } else {
+            (x - self.low) / (self.high - self.low)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        self.low + p * (self.high - self.low)
+    }
+
+    fn mean(&self) -> f64 {
+        (self.low + self.high) / 2.0
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.high - self.low;
+        w * w / 12.0
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(self.low..self.high)
+    }
+
+    fn support_lo(&self) -> f64 {
+        self.low
+    }
+
+    fn support_hi(&self) -> f64 {
+        self.high
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exponential (with optional location shift)
+// ---------------------------------------------------------------------------
+
+/// Exponential distribution with rate `λ` shifted by `shift`:
+/// `X = shift + Exp(λ)`.
+///
+/// The paper perturbs values with an "exponential error distribution with
+/// zero mean and standard deviation σ"; the canonical zero-mean form is
+/// `Exp(1/σ) − σ` — see [`Exponential::zero_mean`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+    shift: f64,
+}
+
+impl Exponential {
+    /// Creates `shift + Exp(rate)`; panics unless `rate > 0` and finite.
+    pub fn new(rate: f64, shift: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate.is_finite() && shift.is_finite(),
+            "Exponential::new requires finite rate > 0, got rate={rate}, shift={shift}"
+        );
+        Self { rate, shift }
+    }
+
+    /// Unshifted exponential with the given rate.
+    pub fn with_rate(rate: f64) -> Self {
+        Self::new(rate, 0.0)
+    }
+
+    /// Zero-mean exponential with standard deviation `sigma`:
+    /// `Exp(1/σ) − σ` (mean 0, std σ, support `[−σ, ∞)`).
+    pub fn zero_mean(sigma: f64) -> Self {
+        assert!(sigma > 0.0, "zero_mean exponential requires sigma > 0");
+        Self::new(1.0 / sigma, -sigma)
+    }
+
+    /// The rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The location shift.
+    pub fn shift(&self) -> f64 {
+        self.shift
+    }
+}
+
+impl ContinuousDistribution for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        let t = x - self.shift;
+        if t < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * t).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let t = x - self.shift;
+        if t <= 0.0 {
+            0.0
+        } else {
+            // expm1 keeps precision for small rate·t.
+            -(-self.rate * t).exp_m1()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        self.shift - (1.0 - p).ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        self.shift + 1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform on (0, 1]; `1 − gen::<f64>()` avoids ln(0).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.shift - u.ln() / self.rate
+    }
+
+    fn support_lo(&self) -> f64 {
+        self.shift
+    }
+
+    fn support_hi(&self) -> f64 {
+        // Numerically-zero density beyond ~46/λ (exp(-46) ≈ 1e-20).
+        self.shift + 46.0 / self.rate
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chi-squared
+// ---------------------------------------------------------------------------
+
+/// Chi-squared distribution with `k` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    k: f64,
+}
+
+impl ChiSquared {
+    /// Creates a chi-squared distribution; panics unless `k > 0` and finite.
+    pub fn new(k: f64) -> Self {
+        assert!(k > 0.0 && k.is_finite(), "ChiSquared::new requires k > 0, got {k}");
+        Self { k }
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> f64 {
+        self.k
+    }
+}
+
+impl ContinuousDistribution for ChiSquared {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            // Density at 0 is +inf for k < 2, 0.5 for k == 2, 0 for k > 2.
+            return match self.k.partial_cmp(&2.0).expect("k is finite") {
+                core::cmp::Ordering::Less => f64::INFINITY,
+                core::cmp::Ordering::Equal => 0.5,
+                core::cmp::Ordering::Greater => 0.0,
+            };
+        }
+        let h = self.k / 2.0;
+        ((h - 1.0) * x.ln() - x / 2.0 - h * 2f64.ln() - ln_gamma(h)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            reg_inc_gamma_p(self.k / 2.0, x / 2.0)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        if p == 0.0 {
+            return 0.0;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        // Wilson–Hilferty initial guess, then bisection+Newton polish.
+        let k = self.k;
+        let z = Normal::phi_inv(p);
+        let guess = k * (1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt()).powi(3);
+        invert_cdf_monotone(|x| self.cdf(x), guess.max(1e-12), 0.0, f64::INFINITY, p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.k
+    }
+
+    fn variance(&self) -> f64 {
+        2.0 * self.k
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Chi²(k) = Gamma(shape = k/2, scale = 2).
+        2.0 * sample_gamma(self.k / 2.0, rng)
+    }
+
+    fn support_lo(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Marsaglia–Tsang gamma sampler, shape `a > 0`, scale 1.
+fn sample_gamma<R: Rng + ?Sized>(a: f64, rng: &mut R) -> f64 {
+    if a < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) · U^{1/a}.
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        return sample_gamma(a + 1.0, rng) * u.powf(1.0 / a);
+    }
+    let d = a - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen::<f64>();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Student-t
+// ---------------------------------------------------------------------------
+
+/// Student's t distribution with `ν` degrees of freedom.
+///
+/// Used for the 95% confidence intervals the paper draws on every plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    nu: f64,
+}
+
+impl StudentT {
+    /// Creates a Student-t distribution; panics unless `nu > 0` and finite.
+    pub fn new(nu: f64) -> Self {
+        assert!(nu > 0.0 && nu.is_finite(), "StudentT::new requires nu > 0, got {nu}");
+        Self { nu }
+    }
+
+    /// Degrees of freedom ν.
+    pub fn dof(&self) -> f64 {
+        self.nu
+    }
+}
+
+impl ContinuousDistribution for StudentT {
+    fn pdf(&self, x: f64) -> f64 {
+        let nu = self.nu;
+        let ln_c = ln_gamma((nu + 1.0) / 2.0)
+            - ln_gamma(nu / 2.0)
+            - 0.5 * (nu * core::f64::consts::PI).ln();
+        (ln_c - (nu + 1.0) / 2.0 * (1.0 + x * x / nu).ln()).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        // Via the incomplete beta: for x ≥ 0,
+        //   F(x) = 1 − I_{ν/(ν+x²)}(ν/2, 1/2) / 2.
+        let nu = self.nu;
+        let ib = reg_inc_beta(nu / 2.0, 0.5, nu / (nu + x * x));
+        if x >= 0.0 {
+            1.0 - ib / 2.0
+        } else {
+            ib / 2.0
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        if p == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        if (p - 0.5).abs() < 1e-15 {
+            return 0.0;
+        }
+        // Normal start, then monotone inversion; t quantiles are heavier
+        // tailed than normal, so widen the bracket geometrically.
+        let guess = Normal::phi_inv(p);
+        invert_cdf_monotone(
+            |x| self.cdf(x),
+            guess,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            p,
+        )
+    }
+
+    fn mean(&self) -> f64 {
+        if self.nu > 1.0 {
+            0.0
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.nu > 2.0 {
+            self.nu / (self.nu - 2.0)
+        } else if self.nu > 1.0 {
+            f64::INFINITY
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let z = sample_standard_normal(rng);
+        let chi2 = 2.0 * sample_gamma(self.nu / 2.0, rng);
+        z / (chi2 / self.nu).sqrt()
+    }
+
+    fn support_lo(&self) -> f64 {
+        // Heavy tails: report a very wide practical support.
+        -1e12
+    }
+
+    fn support_hi(&self) -> f64 {
+        1e12
+    }
+}
+
+/// Inverts a monotone CDF: finds `x` with `cdf(x) = p`.
+///
+/// Starts from `guess`, expands a bracket geometrically within
+/// `[lo_limit, hi_limit]`, then runs safeguarded bisection to ~1e-12
+/// relative. Robust rather than clever: quantiles are not hot paths in
+/// this workspace.
+fn invert_cdf_monotone(
+    cdf: impl Fn(f64) -> f64,
+    guess: f64,
+    lo_limit: f64,
+    hi_limit: f64,
+    p: f64,
+) -> f64 {
+    let g = if guess.is_finite() { guess } else { 0.0 };
+    // Expand the bracket around the guess.
+    let mut lo = g;
+    let mut hi = g;
+    let mut step = g.abs().max(1.0) * 0.5;
+    for _ in 0..200 {
+        if cdf(lo) <= p {
+            break;
+        }
+        lo = (lo - step).max(lo_limit);
+        step *= 2.0;
+        if lo == lo_limit {
+            break;
+        }
+    }
+    step = g.abs().max(1.0) * 0.5;
+    for _ in 0..200 {
+        if cdf(hi) >= p {
+            break;
+        }
+        hi = (hi + step).min(hi_limit);
+        step *= 2.0;
+        if hi == hi_limit {
+            break;
+        }
+    }
+    // Bisection. 200 halvings take any bracket to f64 resolution.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if !(mid > lo && mid < hi) {
+            break;
+        }
+        if cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn normal_pdf_cdf_reference() {
+        let n = Normal::STANDARD;
+        assert!(approx(n.pdf(0.0), 0.3989422804014327, 1e-14));
+        assert!(approx(n.cdf(0.0), 0.5, 1e-14));
+        assert!(approx(n.cdf(1.0), 0.8413447460685429, 1e-13));
+        assert!(approx(n.cdf(-1.96), 0.024997895148220435, 1e-12));
+        let n = Normal::new(2.0, 3.0);
+        assert!(approx(n.cdf(2.0), 0.5, 1e-14));
+        assert!(approx(n.cdf(5.0), 0.8413447460685429, 1e-13));
+    }
+
+    #[test]
+    fn phi_inv_round_trip() {
+        for i in 1..999 {
+            let p = i as f64 / 1000.0;
+            let x = Normal::phi_inv(p);
+            assert!(approx(Normal::phi(x), p, 1e-12), "p={p}");
+        }
+        // Extreme tails.
+        for &p in &[1e-12, 1e-8, 1e-4, 1.0 - 1e-8] {
+            let x = Normal::phi_inv(p);
+            assert!(
+                ((Normal::phi(x) - p) / p).abs() < 1e-8,
+                "tail p={p}, round-trip={}",
+                Normal::phi(x)
+            );
+        }
+    }
+
+    #[test]
+    fn phi_inv_known_values() {
+        assert!(approx(Normal::phi_inv(0.5), 0.0, 1e-14));
+        assert!(approx(Normal::phi_inv(0.975), 1.959963984540054, 1e-10));
+        assert!(approx(Normal::phi_inv(0.95), 1.6448536269514722, 1e-10));
+    }
+
+    #[test]
+    fn uniform_zero_mean_moments() {
+        let u = Uniform::zero_mean(0.7);
+        assert!(approx(u.mean(), 0.0, 1e-14));
+        assert!(approx(u.std_dev(), 0.7, 1e-12));
+        assert!(approx(u.half_width(), 0.7 * 3f64.sqrt(), 1e-12));
+        assert!(approx(u.cdf(u.low()), 0.0, 1e-14));
+        assert!(approx(u.cdf(u.high()), 1.0, 1e-14));
+        assert!(approx(u.cdf(0.0), 0.5, 1e-14));
+    }
+
+    #[test]
+    fn exponential_zero_mean_moments() {
+        let e = Exponential::zero_mean(1.3);
+        assert!(approx(e.mean(), 0.0, 1e-12));
+        assert!(approx(e.std_dev(), 1.3, 1e-12));
+        assert_eq!(e.pdf(-1.4), 0.0);
+        assert!(e.pdf(-1.2) > 0.0);
+        // Median of Exp(1/σ) − σ is σ(ln 2 − 1).
+        assert!(approx(e.quantile(0.5), 1.3 * (2f64.ln() - 1.0), 1e-12));
+    }
+
+    /// Maps a probability through quantile-then-CDF of one distribution.
+    type RoundTrip = Box<dyn Fn(f64) -> (f64, f64)>;
+
+    #[test]
+    fn quantile_cdf_round_trips() {
+        let dists: Vec<RoundTrip> = vec![
+            Box::new(|p| {
+                let d = Normal::new(-1.0, 2.5);
+                let x = d.quantile(p);
+                (d.cdf(x), p)
+            }),
+            Box::new(|p| {
+                let d = Uniform::new(-3.0, 7.0);
+                let x = d.quantile(p);
+                (d.cdf(x), p)
+            }),
+            Box::new(|p| {
+                let d = Exponential::zero_mean(0.8);
+                let x = d.quantile(p);
+                (d.cdf(x), p)
+            }),
+            Box::new(|p| {
+                let d = ChiSquared::new(7.0);
+                let x = d.quantile(p);
+                (d.cdf(x), p)
+            }),
+            Box::new(|p| {
+                let d = StudentT::new(5.0);
+                let x = d.quantile(p);
+                (d.cdf(x), p)
+            }),
+        ];
+        for f in &dists {
+            for i in 1..100 {
+                let p = i as f64 / 100.0;
+                let (got, want) = f(p);
+                assert!(approx(got, want, 1e-9), "round trip failed at p={want}: {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn chi2_known_critical_values() {
+        // χ²_{0.95, 10} = 18.307 (table value)
+        let d = ChiSquared::new(10.0);
+        assert!(approx(d.quantile(0.95), 18.307038053275146, 1e-6));
+        // χ²_{0.99, 1} = 6.6349
+        let d = ChiSquared::new(1.0);
+        assert!(approx(d.quantile(0.99), 6.634896601021214, 1e-6));
+    }
+
+    #[test]
+    fn student_t_known_critical_values() {
+        // t_{0.975, 4} = 2.7764 (classic table)
+        let d = StudentT::new(4.0);
+        assert!(approx(d.quantile(0.975), 2.7764451051977934, 1e-8));
+        // t_{0.975, 30} = 2.0423
+        let d = StudentT::new(30.0);
+        assert!(approx(d.quantile(0.975), 2.042272456301238, 1e-8));
+        // Converges to normal for large ν.
+        let d = StudentT::new(1e6);
+        assert!(approx(d.quantile(0.975), 1.959963984540054, 1e-4));
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+
+        let check = |name: &str, xs: &[f64], mean: f64, var: f64| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+            assert!(
+                (m - mean).abs() < 0.03 * (1.0 + var.sqrt()),
+                "{name}: sample mean {m} vs {mean}"
+            );
+            assert!(
+                (v - var).abs() < 0.05 * (1.0 + var),
+                "{name}: sample var {v} vs {var}"
+            );
+        };
+
+        let d = Normal::new(1.5, 0.5);
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        check("normal", &xs, 1.5, 0.25);
+
+        let d = Uniform::zero_mean(1.0);
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        check("uniform", &xs, 0.0, 1.0);
+
+        let d = Exponential::zero_mean(0.7);
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        check("exponential", &xs, 0.0, 0.49);
+
+        let d = ChiSquared::new(3.0);
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        check("chi2", &xs, 3.0, 6.0);
+
+        let d = StudentT::new(8.0);
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        check("student_t", &xs, 0.0, 8.0 / 6.0);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        use crate::integrate::adaptive_simpson;
+        let n = Normal::new(0.3, 1.7);
+        let total = adaptive_simpson(|x| n.pdf(x), -20.0, 20.0, 1e-10, 30);
+        assert!(approx(total, 1.0, 1e-8));
+        let e = Exponential::zero_mean(0.5);
+        let total = adaptive_simpson(|x| e.pdf(x), -0.5, 30.0, 1e-10, 30);
+        assert!(approx(total, 1.0, 1e-8));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires finite mean and std > 0")]
+    fn normal_rejects_zero_std() {
+        let _ = Normal::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires finite low < high")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = Uniform::new(2.0, 1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Hypothesis tests.
+//!
+//! The paper (Section 4.1.1) checks DUST's working assumption that time
+//! series *values* are uniformly distributed: "According to the Chi-square
+//! test, the hypothesis that the datasets follow the uniform distribution
+//! was rejected (for all datasets) with confidence level α = 0.01." The
+//! Pearson goodness-of-fit test here reproduces that experiment
+//! (`repro chisq`).
+
+use crate::descriptive::Histogram;
+use crate::dist::{ChiSquared, ContinuousDistribution};
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareOutcome {
+    /// The test statistic `Σ (Oᵢ − Eᵢ)² / Eᵢ`.
+    pub statistic: f64,
+    /// Degrees of freedom used (bins − 1 − fitted parameters).
+    pub dof: usize,
+    /// Upper-tail p-value `Pr(χ²_dof ≥ statistic)`.
+    pub p_value: f64,
+}
+
+impl ChiSquareOutcome {
+    /// Whether the null hypothesis is rejected at significance `alpha`.
+    pub fn reject_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Pearson chi-square goodness-of-fit test against explicit expected
+/// counts.
+///
+/// `observed` and `expected` must have equal, non-zero length and every
+/// expected count must be positive. `fitted_params` is subtracted from the
+/// degrees of freedom (0 when the null distribution is fully specified).
+///
+/// # Panics
+/// On mismatched lengths, empty input, or non-positive expected counts —
+/// these are caller bugs, not data conditions.
+pub fn chi_square_gof(observed: &[u64], expected: &[f64], fitted_params: usize) -> ChiSquareOutcome {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed/expected bin count mismatch"
+    );
+    assert!(!observed.is_empty(), "chi-square test needs at least one bin");
+    assert!(
+        observed.len() > 1 + fitted_params,
+        "not enough bins ({}) for {} fitted parameters",
+        observed.len(),
+        fitted_params
+    );
+    let mut statistic = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        assert!(e > 0.0, "expected count must be positive, got {e}");
+        let d = o as f64 - e;
+        statistic += d * d / e;
+    }
+    let dof = observed.len() - 1 - fitted_params;
+    let p_value = 1.0 - ChiSquared::new(dof as f64).cdf(statistic);
+    ChiSquareOutcome {
+        statistic,
+        dof,
+        p_value,
+    }
+}
+
+/// Tests whether a sample is compatible with a uniform distribution over
+/// its own `[min, max]` range — the exact check the paper runs on every
+/// dataset's values in Section 4.1.1.
+///
+/// The sample is binned into `bins` equal-width cells; the expected count
+/// per cell under uniformity is `n / bins`. The two range endpoints are
+/// estimated from the data, so two parameters are deducted from the
+/// degrees of freedom.
+///
+/// Returns `None` when the sample is too small or degenerate to bin
+/// (fewer than `5·bins` points — the usual Cochran rule — or zero range).
+pub fn chi_square_uniformity(xs: &[f64], bins: usize) -> Option<ChiSquareOutcome> {
+    if bins < 4 || xs.len() < 5 * bins {
+        return None;
+    }
+    let hist = Histogram::fit(xs, bins)?;
+    let expected = vec![xs.len() as f64 / bins as f64; bins];
+    Some(chi_square_gof(hist.counts(), &expected, 2))
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::dist::{ContinuousDistribution, Normal, Uniform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_statistic_value() {
+        // Classic die example: 60 rolls, observed [5,8,9,8,10,20], expected 10 each.
+        let out = chi_square_gof(&[5, 8, 9, 8, 10, 20], &[10.0; 6], 0);
+        assert!((out.statistic - 13.4).abs() < 1e-12);
+        assert_eq!(out.dof, 5);
+        // p ≈ 0.0199 (reference: scipy.stats.chisquare)
+        assert!((out.p_value - 0.019905220334774558).abs() < 1e-9);
+        assert!(out.reject_at(0.05));
+        assert!(!out.reject_at(0.01));
+    }
+
+    #[test]
+    fn perfect_fit_gives_p_one() {
+        let out = chi_square_gof(&[10, 10, 10, 10], &[10.0; 4], 0);
+        assert_eq!(out.statistic, 0.0);
+        assert!((out.p_value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_sample_is_not_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Uniform::new(-1.0, 1.0);
+        let xs: Vec<f64> = (0..5000).map(|_| d.sample(&mut rng)).collect();
+        let out = chi_square_uniformity(&xs, 20).unwrap();
+        assert!(
+            !out.reject_at(0.01),
+            "uniform data should not be rejected: p = {}",
+            out.p_value
+        );
+    }
+
+    #[test]
+    fn normal_sample_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = Normal::STANDARD;
+        let xs: Vec<f64> = (0..5000).map(|_| d.sample(&mut rng)).collect();
+        let out = chi_square_uniformity(&xs, 20).unwrap();
+        assert!(
+            out.reject_at(0.01),
+            "normal data must be rejected as non-uniform: p = {}",
+            out.p_value
+        );
+    }
+
+    #[test]
+    fn degenerate_samples_return_none() {
+        assert!(chi_square_uniformity(&[], 10).is_none());
+        assert!(chi_square_uniformity(&[1.0; 30], 10).is_none()); // zero range
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        assert!(chi_square_uniformity(&xs, 10).is_none()); // too few points
+    }
+
+    #[test]
+    #[should_panic(expected = "bin count mismatch")]
+    fn mismatched_bins_panic() {
+        let _ = chi_square_gof(&[1, 2], &[1.0], 0);
+    }
+}

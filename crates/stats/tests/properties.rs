@@ -1,0 +1,129 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use uts_stats::dist::{
+    ChiSquared, ContinuousDistribution, Exponential, Normal, StudentT, Uniform,
+};
+use uts_stats::integrate::{adaptive_simpson, composite_gl16};
+use uts_stats::rng::Seed;
+use uts_stats::{erf, erfc, ln_gamma, reg_inc_beta, reg_inc_gamma_p, Moments};
+
+proptest! {
+    #[test]
+    fn erf_is_odd_and_bounded(x in -10.0..10.0f64) {
+        let e = erf(x);
+        prop_assert!((-1.0..=1.0).contains(&e));
+        prop_assert!((erf(-x) + e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erf_erfc_complement(x in -10.0..10.0f64) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence(x in 0.1..50.0f64) {
+        // Γ(x+1) = x·Γ(x)  ⇒  lnΓ(x+1) = ln x + lnΓ(x)
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "x={x} lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn inc_gamma_is_monotone_cdf(a in 0.2..20.0f64, x1 in 0.0..30.0f64, dx in 0.0..10.0f64) {
+        let p1 = reg_inc_gamma_p(a, x1);
+        let p2 = reg_inc_gamma_p(a, x1 + dx);
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!(p2 + 1e-12 >= p1);
+    }
+
+    #[test]
+    fn inc_beta_symmetry(a in 0.2..20.0f64, b in 0.2..20.0f64, x in 0.0..1.0f64) {
+        let lhs = reg_inc_beta(a, b, x);
+        let rhs = 1.0 - reg_inc_beta(b, a, 1.0 - x);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "a={a} b={b} x={x}: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn normal_quantile_round_trip(mu in -5.0..5.0f64, sigma in 0.01..10.0f64, p in 0.001..0.999f64) {
+        let d = Normal::new(mu, sigma);
+        let x = d.quantile(p);
+        prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_cdf_bounds(lo in -10.0..0.0f64, width in 0.1..20.0f64, x in -30.0..30.0f64) {
+        let d = Uniform::new(lo, lo + width);
+        let c = d.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+        if x <= lo { prop_assert_eq!(c, 0.0); }
+        if x >= lo + width { prop_assert_eq!(c, 1.0); }
+    }
+
+    #[test]
+    fn exponential_zero_mean_has_zero_mean(sigma in 0.05..5.0f64) {
+        let d = Exponential::zero_mean(sigma);
+        prop_assert!(d.mean().abs() < 1e-10);
+        prop_assert!((d.std_dev() - sigma).abs() < 1e-10);
+        // Mean from the pdf by integration agrees.
+        let m = adaptive_simpson(|x| x * d.pdf(x), d.support_lo(), d.support_lo() + 50.0 * sigma, 1e-10, 32);
+        prop_assert!(m.abs() < 1e-6, "integrated mean = {m}");
+    }
+
+    #[test]
+    fn chi2_cdf_monotone_in_dof(x in 0.1..40.0f64, k in 1.0..30.0f64) {
+        // For fixed x, increasing dof decreases the CDF.
+        let c1 = ChiSquared::new(k).cdf(x);
+        let c2 = ChiSquared::new(k + 1.0).cdf(x);
+        prop_assert!(c2 <= c1 + 1e-12);
+    }
+
+    #[test]
+    fn student_t_symmetric(nu in 0.5..100.0f64, x in 0.0..20.0f64) {
+        let d = StudentT::new(nu);
+        prop_assert!((d.cdf(x) + d.cdf(-x) - 1.0).abs() < 1e-10);
+        prop_assert!((d.pdf(x) - d.pdf(-x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_merge_associative(xs in prop::collection::vec(-100.0..100.0f64, 3..60), split in 1..50usize) {
+        let split = split.min(xs.len() - 1);
+        let whole = Moments::from_slice(&xs);
+        let mut a = Moments::from_slice(&xs[..split]);
+        let b = Moments::from_slice(&xs[split..]);
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-8);
+        if xs.len() > 1 {
+            prop_assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn quadratures_agree_on_smooth_functions(a in -3.0..0.0f64, b in 0.5..4.0f64, k in 0.2..3.0f64) {
+        let f = |x: f64| (k * x).sin() + (0.3 * x * x).cos();
+        let s = adaptive_simpson(f, a, b, 1e-11, 32);
+        let g = composite_gl16(f, a, b, 24);
+        prop_assert!((s - g).abs() < 1e-7, "simpson={s} gl={g}");
+    }
+
+    #[test]
+    fn seed_derivation_no_trivial_collisions(root in any::<u64>(), i in 0..1000u64, j in 0..1000u64) {
+        prop_assume!(i != j);
+        let s = Seed::new(root);
+        prop_assert_ne!(s.derive_u64(i).value(), s.derive_u64(j).value());
+    }
+
+    #[test]
+    fn sample_within_support(sigma in 0.05..3.0f64, seed in any::<u64>()) {
+        let mut rng = Seed::new(seed).rng();
+        let u = Uniform::zero_mean(sigma);
+        let e = Exponential::zero_mean(sigma);
+        for _ in 0..64 {
+            let x = u.sample(&mut rng);
+            prop_assert!(x >= u.support_lo() - 1e-12 && x <= u.support_hi() + 1e-12);
+            let x = e.sample(&mut rng);
+            prop_assert!(x >= e.support_lo() - 1e-12);
+        }
+    }
+}

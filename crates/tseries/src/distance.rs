@@ -1,0 +1,130 @@
+//! Lp distances between equal-length series.
+//!
+//! Similarity matching in the paper (Eq. 1) is defined over a generic
+//! `distance` function; every concrete technique it evaluates derives from
+//! the Euclidean (L2) distance, with L1 appearing inside DUST's per-point
+//! distance and DTW using a pluggable local cost.
+
+/// Squared Euclidean distance `Σ (xᵢ − yᵢ)²`.
+///
+/// Kept separate from [`euclidean`] because the probabilistic techniques
+/// (PROUD, MUNICH) reason about the *squared* distance distribution and a
+/// final square root would only be re-squared.
+///
+/// # Panics
+/// If the slices have different lengths — comparing misaligned series is
+/// a caller bug.
+pub fn euclidean_squared(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "euclidean distance requires equal lengths ({} vs {})",
+        x.len(),
+        y.len()
+    );
+    // Iterator form lets LLVM vectorise without bounds checks.
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean (L2) distance.
+///
+/// ```
+/// use uts_tseries::euclidean;
+/// assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+/// ```
+pub fn euclidean(x: &[f64], y: &[f64]) -> f64 {
+    euclidean_squared(x, y).sqrt()
+}
+
+/// Manhattan (L1) distance `Σ |xᵢ − yᵢ|`.
+pub fn manhattan(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "manhattan distance requires equal lengths");
+    x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum()
+}
+
+/// Chebyshev (L∞) distance `max |xᵢ − yᵢ|`.
+pub fn chebyshev(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "chebyshev distance requires equal lengths");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+/// General Minkowski Lp distance, `p ≥ 1`.
+///
+/// `p = 1`, `p = 2` and `p = ∞` dispatch to the specialised kernels.
+pub fn lp_distance(x: &[f64], y: &[f64], p: f64) -> f64 {
+    assert!(p >= 1.0, "Lp distance requires p >= 1, got {p}");
+    if p == 1.0 {
+        return manhattan(x, y);
+    }
+    if p == 2.0 {
+        return euclidean(x, y);
+    }
+    if p.is_infinite() {
+        return chebyshev(x, y);
+    }
+    assert_eq!(x.len(), y.len(), "Lp distance requires equal lengths");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs().powf(p))
+        .sum::<f64>()
+        .powf(1.0 / p)
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[], &[]), 0.0);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean_squared(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn lp_family_consistency() {
+        let x = [1.0, -2.0, 0.5];
+        let y = [0.0, 1.0, 2.0];
+        assert!((lp_distance(&x, &y, 1.0) - manhattan(&x, &y)).abs() < 1e-15);
+        assert!((lp_distance(&x, &y, 2.0) - euclidean(&x, &y)).abs() < 1e-15);
+        assert!((lp_distance(&x, &y, f64::INFINITY) - chebyshev(&x, &y)).abs() < 1e-15);
+        // p = 3 computed by hand: |1|³ + |−3|³ + |−1.5|³ = 1 + 27 + 3.375
+        let want = 31.375f64.powf(1.0 / 3.0);
+        assert!((lp_distance(&x, &y, 3.0) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_monotone_in_p() {
+        // For fixed vectors, Lp norms are non-increasing in p.
+        let x = [0.3, -1.2, 2.0, 0.0];
+        let y = [1.0, 1.0, 1.0, 1.0];
+        let mut prev = f64::INFINITY;
+        for p in [1.0, 1.5, 2.0, 3.0, 8.0, f64::INFINITY] {
+            let d = lp_distance(&x, &y, p);
+            assert!(d <= prev + 1e-12, "p={p}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn length_mismatch_panics() {
+        let _ = euclidean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "p >= 1")]
+    fn invalid_p_panics() {
+        let _ = lp_distance(&[1.0], &[2.0], 0.5);
+    }
+}

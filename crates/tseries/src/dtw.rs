@@ -1,0 +1,218 @@
+//! Dynamic Time Warping (Berndt & Clifford, 1994 — the paper's ref. \[6\]).
+//!
+//! MUNICH applies its probabilistic framework to both Euclidean and DTW
+//! distances, and DUST "can be employed to compute the Dynamic Time
+//! Warping distance" (paper §3.2). The implementation here is therefore
+//! generic over the *local cost*: [`dtw_with_cost`] takes any
+//! `cost(i, j) → f64`, which lets `uts-core` plug in squared value
+//! differences (classic DTW), squared `dust(xᵢ, yⱼ)` values (DUST-DTW),
+//! or interval min/max costs (MUNICH's bounding DTW) without duplicating
+//! the dynamic program.
+
+/// Options controlling the DTW dynamic program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DtwOptions {
+    /// Sakoe–Chiba band half-width: cell `(i, j)` is admissible iff
+    /// `|i − j| ≤ band`. `None` (the default) means unconstrained.
+    pub band: Option<usize>,
+}
+
+impl DtwOptions {
+    /// Unconstrained warping.
+    pub const UNCONSTRAINED: DtwOptions = DtwOptions { band: None };
+
+    /// Sakoe–Chiba band of half-width `r`.
+    pub fn with_band(r: usize) -> Self {
+        Self { band: Some(r) }
+    }
+}
+
+/// DTW over a generic local cost matrix, returned as the *accumulated
+/// cost* of the optimal warping path (no square root applied — the cost
+/// semantics belong to the caller).
+///
+/// Classic O(n·m) dynamic program with two rolling rows; step pattern is
+/// the standard (match / insert / delete) recurrence with unit slope
+/// weights and boundary conditions `(0,0) → (n−1,m−1)`.
+///
+/// Returns `f64::INFINITY` when the band admits no complete path
+/// (possible when `|n − m| > band`); panics on empty inputs.
+pub fn dtw_with_cost(
+    n: usize,
+    m: usize,
+    cost: impl Fn(usize, usize) -> f64,
+    opts: DtwOptions,
+) -> f64 {
+    assert!(n > 0 && m > 0, "DTW requires non-empty series");
+    if let Some(band) = opts.band {
+        if n.abs_diff(m) > band {
+            return f64::INFINITY;
+        }
+    }
+    let mut prev = vec![f64::INFINITY; m];
+    let mut curr = vec![f64::INFINITY; m];
+    for i in 0..n {
+        // Band limits for row i.
+        let (j_lo, j_hi) = match opts.band {
+            Some(b) => (i.saturating_sub(b), (i + b).min(m - 1)),
+            None => (0, m - 1),
+        };
+        curr.iter_mut().for_each(|c| *c = f64::INFINITY);
+        for j in j_lo..=j_hi {
+            let c = cost(i, j);
+            let best_prev = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let up = if i > 0 { prev[j] } else { f64::INFINITY };
+                let left = if j > 0 { curr[j - 1] } else { f64::INFINITY };
+                let diag = if i > 0 && j > 0 { prev[j - 1] } else { f64::INFINITY };
+                up.min(left).min(diag)
+            };
+            curr[j] = c + best_prev;
+        }
+        core::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m - 1]
+}
+
+/// Classic DTW between two value series with squared local cost; the
+/// result is the square root of the accumulated squared differences, so
+/// for equal-length series and `band = 0` it coincides with the Euclidean
+/// distance.
+///
+/// ```
+/// use uts_tseries::{dtw, DtwOptions};
+/// let x = [0.0, 1.0, 2.0];
+/// let y = [0.0, 1.0, 2.0];
+/// assert_eq!(dtw(&x, &y, DtwOptions::default()), 0.0);
+/// ```
+pub fn dtw(x: &[f64], y: &[f64], opts: DtwOptions) -> f64 {
+    dtw_with_cost(
+        x.len(),
+        y.len(),
+        |i, j| {
+            let d = x[i] - y[j];
+            d * d
+        },
+        opts,
+    )
+    .sqrt()
+}
+
+/// LB_Keogh lower bound for band-constrained DTW with squared local cost
+/// (compared against [`dtw`], i.e. both under the final square root).
+///
+/// Builds the upper/lower envelope of `y` within the band and sums the
+/// squared violations of `x` against it. Guaranteed `lb_keogh(x, y, r) ≤
+/// dtw(x, y, band = r)` for equal-length series.
+pub fn lb_keogh(x: &[f64], y: &[f64], band: usize) -> f64 {
+    assert_eq!(x.len(), y.len(), "LB_Keogh requires equal lengths");
+    let n = x.len();
+    let mut acc = 0.0;
+    for (i, &xi) in x.iter().enumerate() {
+        let lo = i.saturating_sub(band);
+        let hi = (i + band).min(n - 1);
+        let (mut env_lo, mut env_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &y[lo..=hi] {
+            env_lo = env_lo.min(v);
+            env_hi = env_hi.max(v);
+        }
+        if xi > env_hi {
+            let d = xi - env_hi;
+            acc += d * d;
+        } else if xi < env_lo {
+            let d = env_lo - xi;
+            acc += d * d;
+        }
+    }
+    acc.sqrt()
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::distance::euclidean;
+
+    #[test]
+    fn identical_series_distance_zero() {
+        let x = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw(&x, &x, DtwOptions::default()), 0.0);
+        assert_eq!(dtw(&x, &x, DtwOptions::with_band(1)), 0.0);
+    }
+
+    #[test]
+    fn band_zero_equals_euclidean() {
+        let x = [0.3, -1.0, 2.0, 0.7];
+        let y = [1.0, 0.0, -0.5, 0.2];
+        let d = dtw(&x, &y, DtwOptions::with_band(0));
+        assert!((d - euclidean(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_is_leq_euclidean() {
+        // More warping freedom can only lower the distance.
+        let x = [0.0, 1.0, 0.0, -1.0, 0.0, 1.5];
+        let y = [0.0, 0.0, 1.0, 0.0, -1.0, 0.0];
+        let free = dtw(&x, &y, DtwOptions::default());
+        let banded = dtw(&x, &y, DtwOptions::with_band(2));
+        let eucl = euclidean(&x, &y);
+        assert!(free <= banded + 1e-12);
+        assert!(banded <= eucl + 1e-12);
+    }
+
+    #[test]
+    fn shifted_pattern_matches_under_warping() {
+        // A spike shifted by one position: Euclidean is large, DTW small.
+        let x = [0.0, 0.0, 5.0, 0.0, 0.0, 0.0];
+        let y = [0.0, 0.0, 0.0, 5.0, 0.0, 0.0];
+        let e = euclidean(&x, &y);
+        let d = dtw(&x, &y, DtwOptions::default());
+        assert!(d < 1e-9, "DTW should absorb the shift, got {d}");
+        assert!(e > 7.0);
+    }
+
+    #[test]
+    fn unequal_lengths_supported() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [0.0, 3.0];
+        let d = dtw(&x, &y, DtwOptions::default());
+        assert!(d.is_finite());
+        // Band smaller than the length difference admits no path.
+        let d = dtw(&x, &y, DtwOptions::with_band(1));
+        assert!(d.is_infinite());
+    }
+
+    #[test]
+    fn custom_cost_plugs_in() {
+        // Constant cost 1: the optimal path length for n = m with diagonal
+        // moves allowed is exactly n.
+        let d = dtw_with_cost(4, 4, |_, _| 1.0, DtwOptions::default());
+        assert_eq!(d, 4.0);
+        // With band 0 the path is forced diagonal: still n cells.
+        let d = dtw_with_cost(4, 4, |_, _| 1.0, DtwOptions::with_band(0));
+        assert_eq!(d, 4.0);
+    }
+
+    #[test]
+    fn lb_keogh_is_a_lower_bound() {
+        let x = [0.1, 0.9, -0.4, 1.2, 0.0, -0.8, 0.3, 0.5];
+        let y = [0.0, 1.0, -0.2, 0.8, 0.1, -1.0, 0.2, 0.7];
+        for band in [0usize, 1, 2, 4] {
+            let lb = lb_keogh(&x, &y, band);
+            let d = dtw(&x, &y, DtwOptions::with_band(band));
+            assert!(lb <= d + 1e-12, "band={band}: lb={lb} > dtw={d}");
+        }
+    }
+
+    #[test]
+    fn lb_keogh_identical_is_zero() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(lb_keogh(&x, &x, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_series_panics() {
+        let _ = dtw(&[], &[1.0], DtwOptions::default());
+    }
+}

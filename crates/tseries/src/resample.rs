@@ -1,0 +1,113 @@
+//! Resampling to a target length.
+//!
+//! The paper's Figure 12 measures CPU time against series length: "Time
+//! series of different lengths have been obtained resampling the raw
+//! sequences." This module provides the standard piecewise-linear
+//! resampler used for that purpose.
+
+use crate::series::TimeSeries;
+
+/// Resamples `values` to exactly `target_len` points by piecewise-linear
+/// interpolation over the normalised index axis.
+///
+/// Endpoints are preserved for `target_len ≥ 2`; `target_len == 1` yields
+/// the first value.
+///
+/// # Panics
+/// If `values` is empty or `target_len` is zero.
+///
+/// ```
+/// use uts_tseries::resample_linear;
+/// let out = resample_linear(&[0.0, 1.0, 2.0], 5);
+/// assert_eq!(out, vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+/// ```
+pub fn resample_linear(values: &[f64], target_len: usize) -> Vec<f64> {
+    assert!(!values.is_empty(), "cannot resample an empty series");
+    assert!(target_len > 0, "target length must be positive");
+    if target_len == 1 {
+        return vec![values[0]];
+    }
+    if values.len() == 1 {
+        return vec![values[0]; target_len];
+    }
+    let n = values.len();
+    let scale = (n - 1) as f64 / (target_len - 1) as f64;
+    (0..target_len)
+        .map(|i| {
+            let pos = i as f64 * scale;
+            let lo = pos.floor() as usize;
+            if lo + 1 >= n {
+                values[n - 1]
+            } else {
+                let frac = pos - lo as f64;
+                values[lo] + frac * (values[lo + 1] - values[lo])
+            }
+        })
+        .collect()
+}
+
+/// [`resample_linear`] lifted to [`TimeSeries`].
+pub fn resample_series(series: &TimeSeries, target_len: usize) -> TimeSeries {
+    TimeSeries::from_values(resample_linear(series.values(), target_len))
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn identity_when_length_matches() {
+        let xs = [1.0, 3.0, 2.0, 5.0];
+        assert_eq!(resample_linear(&xs, 4), xs.to_vec());
+    }
+
+    #[test]
+    fn upsample_preserves_endpoints_and_monotonicity() {
+        let xs = [0.0, 10.0];
+        let out = resample_linear(&xs, 11);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[10], 10.0);
+        for w in out.windows(2) {
+            assert!((w[1] - w[0] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn downsample_preserves_endpoints() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let out = resample_linear(&xs, 10);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[9], 99.0);
+    }
+
+    #[test]
+    fn constant_stays_constant() {
+        let xs = [7.0; 13];
+        for target in [1, 2, 5, 13, 40] {
+            let out = resample_linear(&xs, target);
+            assert_eq!(out.len(), target);
+            assert!(out.iter().all(|&v| (v - 7.0).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn single_point_broadcasts() {
+        assert_eq!(resample_linear(&[3.0], 4), vec![3.0; 4]);
+    }
+
+    #[test]
+    fn values_stay_within_input_range() {
+        // Linear interpolation never overshoots.
+        let xs = [0.0, 5.0, -3.0, 2.0, 8.0, -1.0];
+        let out = resample_linear(&xs, 97);
+        let (lo, hi) = (-3.0, 8.0);
+        assert!(out.iter().all(|&v| v >= lo - 1e-12 && v <= hi + 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        let _ = resample_linear(&[], 5);
+    }
+}

@@ -1,0 +1,253 @@
+//! Property-based tests for the time-series substrate.
+
+use proptest::prelude::*;
+use uts_tseries::{
+    chebyshev, dtw, euclidean, exponential_moving_average, haar_forward, haar_inverse,
+    lb_keogh, lp_distance, manhattan, moving_average, paa, resample_linear, DtwOptions,
+    HaarSynopsis, PaaSynopsis, SaxWord, TimeSeries,
+};
+
+fn series_strategy(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0..50.0f64, min_len..=max_len)
+}
+
+proptest! {
+    // ---- metric axioms -------------------------------------------------
+
+    #[test]
+    fn euclidean_metric_axioms(x in series_strategy(1, 32), y in series_strategy(1, 32), z in series_strategy(1, 32)) {
+        let n = x.len().min(y.len()).min(z.len());
+        let (x, y, z) = (&x[..n], &y[..n], &z[..n]);
+        let dxy = euclidean(x, y);
+        let dyx = euclidean(y, x);
+        prop_assert!(dxy >= 0.0);
+        prop_assert!((dxy - dyx).abs() < 1e-10);                 // symmetry
+        prop_assert!(euclidean(x, x) < 1e-10);                   // identity
+        let dxz = euclidean(x, z);
+        let dzy = euclidean(z, y);
+        prop_assert!(dxy <= dxz + dzy + 1e-9);                   // triangle
+    }
+
+    #[test]
+    fn lp_ordering(x in series_strategy(2, 24), y in series_strategy(2, 24)) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        // L∞ ≤ L2 ≤ L1 always.
+        prop_assert!(chebyshev(x, y) <= euclidean(x, y) + 1e-9);
+        prop_assert!(euclidean(x, y) <= manhattan(x, y) + 1e-9);
+        // General p between 1 and 2 sits between L1 and L∞.
+        let d15 = lp_distance(x, y, 1.5);
+        prop_assert!(d15 <= manhattan(x, y) + 1e-9);
+        prop_assert!(d15 + 1e-9 >= chebyshev(x, y));
+    }
+
+    // ---- z-normalisation ----------------------------------------------
+
+    #[test]
+    fn znorm_invariants(xs in series_strategy(2, 64)) {
+        let s = TimeSeries::from_values(xs.iter().copied());
+        let z = s.znormalized();
+        prop_assert_eq!(z.len(), s.len());
+        let spread = s.max() - s.min();
+        if spread > 1e-9 {
+            prop_assert!(z.mean().abs() < 1e-9);
+            prop_assert!((z.population_std() - 1.0).abs() < 1e-9);
+            // Idempotent.
+            let zz = z.znormalized();
+            for (a, b) in z.iter().zip(zz.iter()) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn znorm_is_shift_scale_invariant(xs in series_strategy(3, 32), shift in -100.0..100.0f64, scale in 0.1..50.0f64) {
+        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-6);
+        let a = TimeSeries::from_values(xs.iter().copied()).znormalized();
+        let b = TimeSeries::from_values(xs.iter().map(|v| v * scale + shift)).znormalized();
+        for (u, v) in a.iter().zip(b.iter()) {
+            prop_assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    // ---- filters --------------------------------------------------------
+
+    #[test]
+    fn ma_stays_in_value_range(xs in series_strategy(1, 48), w in 0usize..6) {
+        let out = moving_average(&xs, w);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(out.iter().all(|&v| v >= lo - 1e-9 && v <= hi + 1e-9));
+    }
+
+    #[test]
+    fn ema_stays_in_value_range(xs in series_strategy(1, 48), w in 0usize..6, lambda in 0.0..3.0f64) {
+        let out = exponential_moving_average(&xs, w, lambda);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(out.iter().all(|&v| v >= lo - 1e-9 && v <= hi + 1e-9));
+    }
+
+    #[test]
+    fn ma_reduces_total_variation(xs in series_strategy(4, 48)) {
+        // Total variation never increases under averaging.
+        let tv = |v: &[f64]| v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>();
+        let out = moving_average(&xs, 2);
+        prop_assert!(tv(&out) <= tv(&xs) + 1e-9);
+    }
+
+    // ---- resampling -----------------------------------------------------
+
+    #[test]
+    fn resample_endpoints_and_range(xs in series_strategy(2, 40), target in 2usize..200) {
+        let out = resample_linear(&xs, target);
+        prop_assert_eq!(out.len(), target);
+        prop_assert!((out[0] - xs[0]).abs() < 1e-9);
+        prop_assert!((out[target - 1] - xs[xs.len() - 1]).abs() < 1e-9);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(out.iter().all(|&v| v >= lo - 1e-9 && v <= hi + 1e-9));
+    }
+
+    #[test]
+    fn resample_round_trip_up_down(xs in series_strategy(2, 30)) {
+        // Upsample by an integer factor, then back: recovers the original.
+        let n = xs.len();
+        let up = resample_linear(&xs, (n - 1) * 4 + 1);
+        let back = resample_linear(&up, n);
+        for (a, b) in xs.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    // ---- DTW --------------------------------------------------------------
+
+    #[test]
+    fn dtw_bounded_by_euclidean(x in series_strategy(2, 24), y in series_strategy(2, 24)) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let d = dtw(x, y, DtwOptions::default());
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= euclidean(x, y) + 1e-9);
+    }
+
+    #[test]
+    fn dtw_band_monotone(x in series_strategy(4, 20), y in series_strategy(4, 20)) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        // Wider band ⇒ smaller-or-equal distance.
+        let mut prev = f64::INFINITY;
+        for band in [0usize, 1, 2, n] {
+            let d = dtw(x, y, DtwOptions::with_band(band));
+            prop_assert!(d <= prev + 1e-9, "band {band}: {d} > {prev}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn lb_keogh_lower_bounds_dtw(x in series_strategy(3, 20), y in series_strategy(3, 20), band in 0usize..5) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let lb = lb_keogh(x, y, band);
+        let d = dtw(x, y, DtwOptions::with_band(band));
+        prop_assert!(lb <= d + 1e-9, "lb={lb} dtw={d}");
+    }
+
+    #[test]
+    fn dtw_symmetric(x in series_strategy(2, 16), y in series_strategy(2, 16)) {
+        let d1 = dtw(&x, &y, DtwOptions::default());
+        let d2 = dtw(&y, &x, DtwOptions::default());
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    // ---- Haar -------------------------------------------------------------
+
+    #[test]
+    fn haar_round_trip(xs in series_strategy(1, 65)) {
+        let c = haar_forward(&xs);
+        let back = haar_inverse(&c);
+        for (a, b) in xs.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn haar_parseval(xs in series_strategy(1, 64)) {
+        let c = haar_forward(&xs);
+        let e_in: f64 = xs.iter().map(|v| v * v).sum();
+        let e_out: f64 = c.iter().map(|v| v * v).sum();
+        prop_assert!((e_in - e_out).abs() < 1e-7 * (1.0 + e_in));
+    }
+
+    #[test]
+    fn haar_synopsis_is_lower_bound(x in series_strategy(8, 64), y in series_strategy(8, 64), k in 1usize..16) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let lb = HaarSynopsis::new(x, k).distance_lower_bound(&HaarSynopsis::new(y, k));
+        prop_assert!(lb <= euclidean(x, y) + 1e-8);
+    }
+
+    // ---- PAA ---------------------------------------------------------------
+
+    #[test]
+    fn paa_stays_in_value_range(xs in series_strategy(2, 64), m in 1usize..32) {
+        let m = m.min(xs.len());
+        let out = paa(&xs, m);
+        prop_assert_eq!(out.len(), m);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(out.iter().all(|&v| v >= lo - 1e-9 && v <= hi + 1e-9));
+    }
+
+    #[test]
+    fn paa_preserves_global_mean(xs in series_strategy(2, 64), m in 1usize..32) {
+        let m = m.min(xs.len());
+        // Segment means weighted by (equal) segment mass average back to
+        // the global mean.
+        let out = paa(&xs, m);
+        let mean_in: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mean_out: f64 = out.iter().sum::<f64>() / out.len() as f64;
+        prop_assert!((mean_in - mean_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paa_synopsis_is_lower_bound(x in series_strategy(4, 64), y in series_strategy(4, 64), m in 1usize..16) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let m = m.min(n);
+        let lb = PaaSynopsis::new(x, m).distance_lower_bound(&PaaSynopsis::new(y, m));
+        prop_assert!(lb <= euclidean(x, y) + 1e-8, "m={m}: lb={lb}, full={}", euclidean(x, y));
+    }
+
+    // ---- SAX ---------------------------------------------------------------
+
+    #[test]
+    fn sax_mindist_is_lower_bound(
+        x in series_strategy(8, 64),
+        y in series_strategy(8, 64),
+        w in 2usize..12,
+        a in 3u8..12,
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let w = w.min(n);
+        let wx = SaxWord::encode(x, w, a);
+        let wy = SaxWord::encode(y, w, a);
+        let lb = wx.mindist(&wy);
+        prop_assert!(lb >= 0.0);
+        prop_assert!(lb <= euclidean(x, y) + 1e-8, "w={w} a={a}: {lb} > {}", euclidean(x, y));
+        // Symmetry.
+        prop_assert!((wx.mindist(&wy) - wy.mindist(&wx)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sax_symbols_in_alphabet(xs in series_strategy(4, 48), w in 1usize..10, a in 2u8..20) {
+        let w = w.min(xs.len());
+        let word = SaxWord::encode(&xs, w, a);
+        prop_assert_eq!(word.symbols().len(), w);
+        prop_assert!(word.symbols().iter().all(|&s| s < a));
+        prop_assert_eq!(word.to_letters().chars().count() >= w, true);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the uncertainty models.
+
+use proptest::prelude::*;
+use uts_stats::rng::Seed;
+use uts_tseries::TimeSeries;
+use uts_uncertain::{perturb, perturb_multi, ErrorFamily, ErrorSpec, PointError};
+
+fn family_strategy() -> impl Strategy<Value = ErrorFamily> {
+    prop::sample::select(ErrorFamily::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn point_error_pdf_nonnegative(family in family_strategy(), sigma in 0.05..3.0f64, x in -10.0..10.0f64) {
+        let pe = PointError::new(family, sigma);
+        prop_assert!(pe.pdf(x) >= 0.0);
+        let c = pe.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn point_error_cdf_monotone(family in family_strategy(), sigma in 0.05..3.0f64, x in -5.0..5.0f64, dx in 0.0..5.0f64) {
+        let pe = PointError::new(family, sigma);
+        prop_assert!(pe.cdf(x + dx) + 1e-12 >= pe.cdf(x));
+    }
+
+    #[test]
+    fn samples_stay_in_support(family in family_strategy(), sigma in 0.05..3.0f64, seed in any::<u64>()) {
+        let pe = PointError::new(family, sigma);
+        let (lo, hi) = pe.support();
+        let mut rng = Seed::new(seed).rng();
+        for _ in 0..32 {
+            let e = pe.sample(&mut rng);
+            prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9, "{family} sample {e} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn realize_constant_spec_len(len in 0usize..300, sigma in 0.05..2.0f64, seed in any::<u64>()) {
+        let spec = ErrorSpec::constant(ErrorFamily::Normal, sigma);
+        let errs = spec.realize(len, Seed::new(seed));
+        prop_assert_eq!(errs.len(), len);
+    }
+
+    #[test]
+    fn realize_mixed_counts(len in 1usize..300, frac in 0.0..1.0f64, seed in any::<u64>()) {
+        let spec = ErrorSpec::mixed_sigma(ErrorFamily::Uniform, frac, 1.0, 0.4);
+        let errs = spec.realize(len, Seed::new(seed));
+        let high = errs.iter().filter(|e| e.sigma == 1.0).count();
+        let want = (frac * len as f64).round() as usize;
+        prop_assert_eq!(high, want.min(len));
+    }
+
+    #[test]
+    fn perturb_preserves_len_and_errors(len in 1usize..128, sigma in 0.05..2.0f64, seed in any::<u64>(), family in family_strategy()) {
+        let clean = TimeSeries::from_values((0..len).map(|i| (i as f64 * 0.1).cos()));
+        let spec = ErrorSpec::constant(family, sigma);
+        let p = perturb(&clean, &spec, Seed::new(seed));
+        prop_assert_eq!(p.len(), len);
+        prop_assert!(p.errors().iter().all(|e| e.sigma == sigma && e.family == family));
+        // Observed value differs from clean by a value inside the error support.
+        let (lo, hi) = PointError::new(family, sigma).support();
+        for (obs, truth) in p.values().iter().zip(clean.iter()) {
+            let e = obs - truth;
+            prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn perturb_multi_shape(len in 1usize..64, s in 1usize..8, seed in any::<u64>()) {
+        let clean = TimeSeries::from_values((0..len).map(|i| i as f64));
+        let spec = ErrorSpec::constant(ErrorFamily::Exponential, 0.5);
+        let m = perturb_multi(&clean, &spec, s, Seed::new(seed));
+        prop_assert_eq!(m.len(), len);
+        prop_assert_eq!(m.samples_per_point(), s);
+        for i in 0..len {
+            let (lo, hi) = m.mbi(i);
+            prop_assert!(lo <= hi);
+            for &v in m.row(i) {
+                prop_assert!(v >= lo && v <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn reported_sigma_does_not_change_values(len in 1usize..64, seed in any::<u64>(), reported in 0.05..2.0f64) {
+        let clean = TimeSeries::from_values((0..len).map(|i| (i as f64 * 0.3).sin()));
+        let spec = ErrorSpec::paper_mixed(ErrorFamily::Normal);
+        let p = perturb(&clean, &spec, Seed::new(seed));
+        let r = p.with_reported_sigma(reported);
+        prop_assert_eq!(r.values(), p.values());
+        prop_assert!(r.errors().iter().all(|e| e.sigma == reported));
+    }
+}

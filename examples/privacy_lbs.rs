@@ -1,0 +1,94 @@
+//! Privacy-preserving similarity — the paper's location-based-services
+//! motivation.
+//!
+//! ```sh
+//! cargo run --release --example privacy_lbs
+//! ```
+//!
+//! "Personal information contributed by individuals … privacy is a major
+//! concern, addressed by various privacy-preserving transforms, which
+//! introduce data uncertainty. The data can still be mined and queried,
+//! but it requires a re-design of the existing methods" (paper §1).
+//!
+//! This example publishes daily mobility intensity profiles under
+//! calibrated noise (the publisher adds i.i.d. noise of a *known,
+//! disclosed* σ — the standard output-perturbation setting) and measures
+//! how well an analyst can still group similar users, with and without
+//! uncertainty-aware measures, at increasing privacy levels.
+
+use uncertts::core::matching::{MatchingTask, Technique};
+use uncertts::core::proud::{Proud, ProudConfig};
+use uncertts::core::uma::Uema;
+use uncertts::datasets::{Catalogue, DatasetId};
+use uncertts::stats::rng::Seed;
+use uncertts::uncertain::{perturb, ErrorFamily, ErrorSpec};
+
+fn main() {
+    let seed = Seed::new(2012);
+
+    // Mobility profiles: reuse the FaceAll analogue (many classes of
+    // smooth daily patterns) as a stand-in population of 60 users.
+    let dataset = Catalogue::new(seed).generate_scaled(DatasetId::FaceAll, 60);
+    println!(
+        "population: {} user profiles, length {}\n",
+        dataset.len(),
+        dataset.series_length()
+    );
+
+    println!(
+        "{:>8}  {:>11}  {:>9}  {:>9}   (mean F1 over 12 queries, k = 10)",
+        "noise σ", "Euclidean", "PROUD", "UEMA"
+    );
+
+    // Publish at increasing privacy levels and measure analyst utility.
+    for privacy_sigma in [0.2, 0.5, 1.0, 1.5, 2.0] {
+        let spec = ErrorSpec::constant(ErrorFamily::Normal, privacy_sigma);
+        let published: Vec<_> = dataset
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                perturb(
+                    s,
+                    &spec,
+                    seed.derive("publish")
+                        .derive_u64((privacy_sigma * 1000.0) as u64)
+                        .derive_u64(i as u64),
+                )
+            })
+            .collect();
+        let task = MatchingTask::new(dataset.series.clone(), published, None, 10);
+        let queries: Vec<usize> = (0..12).collect();
+
+        let mean_f1 = |t: &Technique| {
+            // Probabilistic techniques run at their optimal τ (the
+            // paper's protocol); for plain distances the grid is ignored.
+            uts_experiments::runner::technique_scores_optimal_tau(
+                &task,
+                &queries,
+                t,
+                &uncertts::core::matching::default_tau_grid(),
+            )
+            .1
+            .f1
+            .mean()
+        };
+
+        let eucl = mean_f1(&Technique::Euclidean);
+        // PROUD knows the disclosed σ — the honest-publisher setting.
+        let proud = mean_f1(&Technique::Proud {
+            proud: Proud::new(ProudConfig::with_sigma(privacy_sigma)),
+            tau: 0.3,
+        });
+        let uema = mean_f1(&Technique::Uema(Uema::default()));
+
+        println!("{privacy_sigma:>8.1}  {eucl:>11.3}  {proud:>9.3}  {uema:>9.3}");
+    }
+
+    println!(
+        "\nReading the table: utility degrades as the privacy noise grows\n\
+         (the paper's Figure 5 trend); the UEMA filter recovers part of it\n\
+         by exploiting the temporal smoothness of the true profiles —\n\
+         noise is independent across timestamps, mobility is not."
+    );
+}

@@ -1,0 +1,87 @@
+//! Top-k search and motif discovery with DUST.
+//!
+//! ```sh
+//! cargo run --release --example topk_motifs
+//! ```
+//!
+//! DUST — unlike MUNICH and PROUD — "is a real number that measures the
+//! dissimilarity between uncertain time series. Thus, it can be used in
+//! all mining techniques for certain time series" (paper §2.3), including
+//! top-k nearest-neighbour queries and top-k motif search (§3.3). This
+//! example runs both over an uncertain ECG-like collection, and shows
+//! DUST-DTW handling phase-shifted beats where aligned distances fail.
+
+use uncertts::core::dust::{Dust, DustConfig};
+use uncertts::core::query::TopK;
+use uncertts::datasets::{Catalogue, DatasetId};
+use uncertts::stats::rng::Seed;
+use uncertts::tseries::DtwOptions;
+use uncertts::uncertain::{perturb, ErrorFamily, ErrorSpec};
+
+fn main() {
+    let seed = Seed::new(17);
+    let dataset = Catalogue::new(seed).generate_scaled(DatasetId::Ecg200, 60);
+    let spec = ErrorSpec::paper_mixed(ErrorFamily::Normal);
+    let collection: Vec<_> = dataset
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| perturb(s, &spec, seed.derive_u64(i as u64)))
+        .collect();
+
+    let dust = Dust::new(DustConfig::default());
+
+    // --- top-k nearest neighbours -------------------------------------
+    let q = 0;
+    let others: Vec<_> = collection[1..].to_vec();
+    let top = TopK::new(5).evaluate(&collection[q], &others, &dust);
+    println!("top-5 DUST neighbours of series #{q} (class {}):", dataset.labels[q]);
+    for (rank, (i, d)) in top.iter().enumerate() {
+        // +1: the query itself was removed from the collection head.
+        println!(
+            "  #{:<2} series {:>2}  dust {:>7.3}  class {}",
+            rank + 1,
+            i + 1,
+            d,
+            dataset.labels[i + 1]
+        );
+    }
+
+    // --- top-k motifs ---------------------------------------------------
+    // The motif pair: the two most similar series in the collection —
+    // quadratic scan, as in the classical motif definition.
+    let mut best: Vec<(f64, usize, usize)> = Vec::new();
+    for i in 0..collection.len() {
+        for j in (i + 1)..collection.len() {
+            let d = dust.distance(&collection[i], &collection[j]);
+            best.push((d, i, j));
+        }
+    }
+    best.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    println!("\ntop-3 motif pairs under DUST:");
+    for (d, i, j) in best.iter().take(3) {
+        println!(
+            "  ({i:>2}, {j:>2})  dust {d:>7.3}  classes ({}, {})",
+            dataset.labels[*i], dataset.labels[*j]
+        );
+    }
+
+    // --- DUST as a DTW local cost ----------------------------------------
+    // Build a phase-shifted copy of a beat train: aligned DUST sees a large
+    // distance, DUST-DTW absorbs the shift (paper §3.2: DUST "can be
+    // employed to compute the Dynamic Time Warping distance").
+    let original = &collection[1];
+    let shift = 6;
+    let shifted = {
+        let mut values: Vec<f64> = original.values()[shift..].to_vec();
+        values.extend_from_slice(&original.values()[..shift]);
+        let errors = original.errors().to_vec();
+        uncertts::uncertain::UncertainSeries::new(values, errors)
+    };
+    let aligned = dust.distance(original, &shifted);
+    let warped = dust.dtw_distance(original, &shifted, DtwOptions::with_band(12));
+    println!(
+        "\nphase-shifted beat train: aligned DUST = {aligned:.3}, DUST-DTW = {warped:.3}\n\
+         (warping absorbs the {shift}-sample shift; the band keeps it O(n·band))"
+    );
+}

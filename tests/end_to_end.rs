@@ -1,0 +1,237 @@
+//! Cross-crate integration tests: the full pipeline from dataset
+//! generation through perturbation to similarity matching, exercising the
+//! workspace exactly the way the experiment harness and downstream users
+//! do.
+
+use uncertts::core::dust::{Dust, DustConfig};
+use uncertts::core::matching::{MatchingTask, Technique};
+use uncertts::core::munich::Munich;
+use uncertts::core::proud::{Proud, ProudConfig};
+use uncertts::core::uma::{Uema, Uma};
+use uncertts::datasets::{Catalogue, DatasetId};
+use uncertts::stats::rng::Seed;
+use uncertts::uncertain::{perturb, perturb_multi, ErrorFamily, ErrorSpec};
+use uts_experiments::runner::{build_task, pick_queries, technique_scores, ReportedError};
+
+fn make_task(
+    id: DatasetId,
+    n: usize,
+    spec: &ErrorSpec,
+    with_multi: bool,
+    seed: u64,
+) -> MatchingTask {
+    let seed = Seed::new(seed);
+    let dataset = Catalogue::new(seed).generate_scaled(id, n);
+    let uncertain: Vec<_> = dataset
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| perturb(s, spec, seed.derive("pdf").derive_u64(i as u64)))
+        .collect();
+    let multi = with_multi.then(|| {
+        dataset
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| perturb_multi(s, spec, 5, seed.derive("multi").derive_u64(i as u64)))
+            .collect()
+    });
+    MatchingTask::new(dataset.series.clone(), uncertain, multi, 10)
+}
+
+#[test]
+fn full_pipeline_every_technique() {
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, 0.5);
+    let task = make_task(DatasetId::Cbf, 30, &spec, true, 1);
+    let techniques = vec![
+        Technique::Euclidean,
+        Technique::Dust(Dust::default()),
+        Technique::Uma(Uma::default()),
+        Technique::Uema(Uema::default()),
+        Technique::Proud {
+            proud: Proud::new(ProudConfig::with_sigma(0.5)),
+            tau: 0.3,
+        },
+        Technique::Munich {
+            munich: Munich::default(),
+            tau: 0.3,
+        },
+    ];
+    for t in &techniques {
+        for q in [0, 7, 15] {
+            let s = task.query_quality(q, t);
+            assert!(
+                s.f1.is_finite() && (0.0..=1.0).contains(&s.f1),
+                "{}: bad F1 {:?}",
+                t.kind(),
+                s
+            );
+        }
+    }
+}
+
+#[test]
+fn low_noise_gives_near_perfect_matching() {
+    // With tiny noise every technique should essentially recover the
+    // clean ground truth on a well-separated dataset.
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, 0.05);
+    let task = make_task(DatasetId::FaceFour, 40, &spec, false, 2);
+    for t in [
+        Technique::Euclidean,
+        Technique::Dust(Dust::default()),
+        Technique::Uema(Uema::default()),
+    ] {
+        let mut f1 = 0.0;
+        for q in 0..10 {
+            f1 += task.query_quality(q, &t).f1;
+        }
+        f1 /= 10.0;
+        assert!(f1 > 0.9, "{}: F1 {f1} too low at σ=0.05", t.kind());
+    }
+}
+
+#[test]
+fn noise_degrades_all_techniques() {
+    // The monotone workload trend behind the paper's Figure 5.
+    let mut last = f64::INFINITY;
+    for sigma in [0.2, 1.0, 2.0] {
+        let spec = ErrorSpec::constant(ErrorFamily::Uniform, sigma);
+        let task = make_task(DatasetId::SwedishLeaf, 40, &spec, false, 3);
+        let mut f1 = 0.0;
+        for q in 0..10 {
+            f1 += task.query_quality(q, &Technique::Euclidean).f1;
+        }
+        f1 /= 10.0;
+        // Allow small non-monotonic wiggle from sampling noise.
+        assert!(
+            f1 <= last + 0.1,
+            "F1 should broadly decrease with σ: {f1} after {last}"
+        );
+        last = f1;
+    }
+}
+
+#[test]
+fn uema_beats_euclidean_on_mixed_noise_hard_dataset() {
+    // The paper's headline §5.2 finding, on the tight (hard) OliveOil
+    // analogue with the stress-test error mix.
+    let spec = ErrorSpec::paper_mixed(ErrorFamily::Normal);
+    let task = make_task(DatasetId::OliveOil, 40, &spec, false, 4);
+    let queries: Vec<usize> = (0..15).collect();
+    let mean_f1 = |t: &Technique| {
+        queries
+            .iter()
+            .map(|&q| task.query_quality(q, t).f1)
+            .sum::<f64>()
+            / queries.len() as f64
+    };
+    let eucl = mean_f1(&Technique::Euclidean);
+    let uema = mean_f1(&Technique::Uema(Uema::default()));
+    let uma = mean_f1(&Technique::Uma(Uma::default()));
+    assert!(
+        uema > eucl && uma > eucl,
+        "filters must beat Euclidean here: UEMA {uema}, UMA {uma}, Euclid {eucl}"
+    );
+}
+
+#[test]
+fn dust_equals_euclidean_ordering_under_constant_normal_error() {
+    // DUST ∝ Euclidean for constant normal σ ⇒ identical answer sets
+    // under the paper's calibration (both thresholds derive from the same
+    // anchor c).
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, 0.7);
+    let task = make_task(DatasetId::GunPoint, 30, &spec, false, 5);
+    let dust = Technique::Dust(Dust::default());
+    for q in 0..8 {
+        let se = task.query_quality(q, &Technique::Euclidean);
+        let sd = task.query_quality(q, &dust);
+        assert!(
+            (se.f1 - sd.f1).abs() < 1e-9,
+            "q={q}: euclid F1 {} vs dust F1 {}",
+            se.f1,
+            sd.f1
+        );
+    }
+}
+
+#[test]
+fn runner_matches_direct_evaluation() {
+    // The experiment harness's parallel scorer must agree with direct
+    // sequential calls into uts-core.
+    let seed = Seed::new(6);
+    let dataset = Catalogue::new(seed).generate_scaled(DatasetId::Trace, 30);
+    let spec = ErrorSpec::constant(ErrorFamily::Exponential, 0.6);
+    let task = build_task(&dataset, &spec, ReportedError::Truthful, None, 10, seed);
+    let queries = pick_queries(task.len(), 8, seed);
+    let agg = technique_scores(&task, &queries, &Technique::Euclidean);
+    let mut manual = 0.0;
+    for &q in &queries {
+        manual += task.query_quality(q, &Technique::Euclidean).f1;
+    }
+    manual /= queries.len() as f64;
+    assert!((agg.f1.mean() - manual).abs() < 1e-12);
+    assert_eq!(agg.f1.count(), queries.len() as u64);
+}
+
+#[test]
+fn whole_catalogue_generates_with_correct_metadata() {
+    let cat = Catalogue::new(Seed::new(7));
+    for id in DatasetId::all() {
+        let d = cat.generate_scaled(id, 12);
+        assert_eq!(d.len(), 12, "{id}");
+        assert_eq!(d.series_length(), id.meta().length, "{id}");
+        for s in &d.series {
+            assert!(s.is_znormalized(1e-6), "{id}");
+        }
+    }
+}
+
+#[test]
+fn misreported_sigma_flows_through_the_whole_stack() {
+    // Figure 10 wiring: the reported σ reaches DUST's tables and changes
+    // its distances, while Euclidean is untouched.
+    let spec = ErrorSpec::paper_mixed(ErrorFamily::Normal);
+    let seed = Seed::new(8);
+    let dataset = Catalogue::new(seed).generate_scaled(DatasetId::Coffee, 25);
+    let truthful = build_task(&dataset, &spec, ReportedError::Truthful, None, 10, seed);
+    let misreported = build_task(
+        &dataset,
+        &spec,
+        ReportedError::ConstantSigma(0.7),
+        None,
+        10,
+        seed,
+    );
+    // Same observations…
+    assert_eq!(
+        truthful.uncertain()[0].values(),
+        misreported.uncertain()[0].values()
+    );
+    // …different DUST distances…
+    let dust = Dust::new(DustConfig::default());
+    let d_t = dust.distance(&truthful.uncertain()[0], &truthful.uncertain()[1]);
+    let d_m = dust.distance(&misreported.uncertain()[0], &misreported.uncertain()[1]);
+    assert!((d_t - d_m).abs() > 1e-9, "misreporting must change DUST");
+    // …and identical Euclidean distances.
+    let e_t = uncertts::core::euclidean::euclidean_uncertain(
+        &truthful.uncertain()[0],
+        &truthful.uncertain()[1],
+    );
+    let e_m = uncertts::core::euclidean::euclidean_uncertain(
+        &misreported.uncertain()[0],
+        &misreported.uncertain()[1],
+    );
+    assert_eq!(e_t, e_m);
+}
+
+#[test]
+fn facade_prelude_compiles_and_works() {
+    use uncertts::prelude::*;
+    let clean = TimeSeries::from_values((0..32).map(|i| (i as f64 / 4.0).sin()));
+    let spec = ErrorSpec::constant(ErrorFamily::Uniform, 0.3);
+    let a = perturb(&clean, &spec, Seed::new(1));
+    let b = perturb(&clean, &spec, Seed::new(2));
+    assert!(euclidean_distance(a.values(), b.values()) > 0.0);
+    let dust = Dust::new(DustConfig::default());
+    assert!(dust.distance(&a, &b) > 0.0);
+}
