@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use uts_bench::bench_pair;
 use uts_tseries::{
-    dtw, euclidean, exponential_moving_average, haar_forward, lb_keogh, manhattan,
-    moving_average, DtwOptions,
+    dtw, euclidean, exponential_moving_average, haar_forward, lb_keogh, manhattan, moving_average,
+    DtwOptions,
 };
 
 const LEN: usize = 290;

@@ -21,8 +21,16 @@ fn bench(c: &mut Criterion) {
 
     for (label, fx, fy) in [
         ("normal_normal", ErrorFamily::Normal, ErrorFamily::Normal),
-        ("uniform_uniform", ErrorFamily::Uniform, ErrorFamily::Uniform),
-        ("exp_exp", ErrorFamily::Exponential, ErrorFamily::Exponential),
+        (
+            "uniform_uniform",
+            ErrorFamily::Uniform,
+            ErrorFamily::Uniform,
+        ),
+        (
+            "exp_exp",
+            ErrorFamily::Exponential,
+            ErrorFamily::Exponential,
+        ),
         ("normal_uniform", ErrorFamily::Normal, ErrorFamily::Uniform),
     ] {
         let x = with_family(&x0, fx, 0.5);

@@ -47,8 +47,11 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut acc = 0.0;
                 for cand in candidates {
-                    acc += proud
-                        .probability_within(black_box(&query), black_box(cand), black_box(5.0));
+                    acc += proud.probability_within(
+                        black_box(&query),
+                        black_box(cand),
+                        black_box(5.0),
+                    );
                 }
                 acc
             })

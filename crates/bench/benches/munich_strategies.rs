@@ -26,10 +26,7 @@ fn bench(c: &mut Criterion) {
     };
 
     group.bench_function("exact_dp", |b| {
-        let m = mk(
-            MunichStrategy::Exact,
-            false,
-        );
+        let m = mk(MunichStrategy::Exact, false);
         b.iter(|| m.probability_within(black_box(&x), black_box(&y), black_box(eps)))
     });
     group.bench_function("convolution_1024", |b| {

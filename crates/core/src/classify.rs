@@ -142,10 +142,9 @@ mod unit {
         for class in 0..2usize {
             for j in 0..n_per_class {
                 let phase = class as f64 * std::f64::consts::FRAC_PI_2;
-                let clean = TimeSeries::from_values(
-                    (0..64).map(|t| ((t as f64 / 5.0) + phase).sin()),
-                )
-                .znormalized();
+                let clean =
+                    TimeSeries::from_values((0..64).map(|t| ((t as f64 / 5.0) + phase).sin()))
+                        .znormalized();
                 coll.push(perturb(
                     &clean,
                     &spec,

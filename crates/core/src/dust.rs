@@ -37,12 +37,11 @@
 //! Like the original implementation, `dust` values are served from
 //! per-(families, σx, σy) **lookup tables** over a Δ grid
 //! (paper §4.2.1 mentions "how the DUST lookup tables are determined"),
-//! built lazily and cached behind a `parking_lot::RwLock`.
+//! built lazily and cached behind an `std::sync::RwLock`.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
-use parking_lot::RwLock;
 use uts_stats::dist::{ContinuousDistribution, Normal};
 use uts_stats::integrate::adaptive_simpson;
 use uts_tseries::dtw::{dtw_with_cost, DtwOptions};
@@ -140,11 +139,11 @@ impl Default for Dust {
 impl Dust {
     /// Creates DUST with the given configuration.
     pub fn new(config: DustConfig) -> Self {
-        assert!(config.table_resolution >= 2, "table needs at least two cells");
         assert!(
-            config.table_max_delta > 0.0,
-            "table range must be positive"
+            config.table_resolution >= 2,
+            "table needs at least two cells"
         );
+        assert!(config.table_max_delta > 0.0, "table range must be positive");
         assert!(
             (0.0..1.0).contains(&config.uniform_tail_weight),
             "tail weight must be in [0, 1)"
@@ -162,7 +161,7 @@ impl Dust {
 
     /// Number of lookup tables built so far.
     pub fn cached_tables(&self) -> usize {
-        self.tables.read().len()
+        self.tables.read().expect("dust table lock").len()
     }
 
     /// The un-normalised similarity kernel `φ(Δ)` for an error pair — the
@@ -236,11 +235,15 @@ impl Dust {
 
     /// Fetches (building if necessary) the table for an error pair.
     fn resolve_table(&self, key: TableKey, ex: PointError, ey: PointError) -> Arc<DustTable> {
-        if let Some(t) = self.tables.read().get(&key) {
+        if let Some(t) = self.tables.read().expect("dust table lock").get(&key) {
             return t.clone();
         }
         let t = Arc::new(self.build_table(ex, ey));
-        self.tables.write().entry(key).or_insert_with(|| t.clone());
+        self.tables
+            .write()
+            .expect("dust table lock")
+            .entry(key)
+            .or_insert_with(|| t.clone());
         t
     }
 
@@ -304,11 +307,7 @@ fn log_sum_exp(terms: &[f64]) -> f64 {
     if m == f64::NEG_INFINITY {
         return f64::NEG_INFINITY;
     }
-    m + terms
-        .iter()
-        .map(|&t| (t - m).exp())
-        .sum::<f64>()
-        .ln()
+    m + terms.iter().map(|&t| (t - m).exp()).sum::<f64>().ln()
 }
 
 /// `ln φ(Δ)`: log-density of `e_x − e_y` at Δ (−∞ where the density is
@@ -352,9 +351,21 @@ fn ln_phi_kernel(config: &DustConfig, ex: PointError, ey: PointError, delta: f64
             let ln_w = w.ln();
             let ln_1w = (1.0 - w).ln();
             let terms = [
-                if uu > 0.0 { 2.0 * ln_1w + uu.ln() } else { f64::NEG_INFINITY },
-                if ug > 0.0 { ln_1w + ln_w + ug.ln() } else { f64::NEG_INFINITY },
-                if gu > 0.0 { ln_1w + ln_w + gu.ln() } else { f64::NEG_INFINITY },
+                if uu > 0.0 {
+                    2.0 * ln_1w + uu.ln()
+                } else {
+                    f64::NEG_INFINITY
+                },
+                if ug > 0.0 {
+                    ln_1w + ln_w + ug.ln()
+                } else {
+                    f64::NEG_INFINITY
+                },
+                if gu > 0.0 {
+                    ln_1w + ln_w + gu.ln()
+                } else {
+                    f64::NEG_INFINITY
+                },
                 2.0 * ln_w + ln_normal_pdf(delta, (gx * gx + gy * gy).sqrt()),
             ];
             log_sum_exp(&terms)
@@ -642,7 +653,10 @@ mod unit {
         let dust = Dust::default();
         let straight = dust.distance(&x, &y);
         let warped = dust.dtw_distance(&x, &y, DtwOptions::default());
-        assert!(warped < straight * 0.2, "dtw {warped} vs straight {straight}");
+        assert!(
+            warped < straight * 0.2,
+            "dtw {warped} vs straight {straight}"
+        );
     }
 
     #[test]

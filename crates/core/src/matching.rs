@@ -676,19 +676,13 @@ mod unit {
     #[test]
     fn munich_requires_multi_obs() {
         let base = toy_task(4, 8, 0.3, 3);
-        let task = MatchingTask::new(
-            base.clean().to_vec(),
-            base.uncertain().to_vec(),
-            None,
-            3,
-        );
+        let task = MatchingTask::new(base.clean().to_vec(), base.uncertain().to_vec(), None, 3);
         let t = Technique::Munich {
             munich: Munich::default(),
             tau: 0.5,
         };
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            task.answer_set(0, &t, 1.0)
-        }));
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.answer_set(0, &t, 1.0)));
         assert!(r.is_err(), "MUNICH without multi-obs data must panic");
     }
 

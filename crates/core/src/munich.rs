@@ -235,12 +235,9 @@ impl Munich {
     ) -> ProbabilityBounds {
         match exact_probability(x, y, eps_sq, self.config.exact_support_limit) {
             Some(p) => ProbabilityBounds::exact(p),
-            None => ProbabilityBounds::from(convolve_probability(
-                x,
-                y,
-                eps_sq,
-                self.config.auto_bins,
-            )),
+            None => {
+                ProbabilityBounds::from(convolve_probability(x, y, eps_sq, self.config.auto_bins))
+            }
         }
     }
 
@@ -328,11 +325,7 @@ fn interval_pair_sq_range(xl: f64, xh: f64, yl: f64, yh: f64) -> (f64, f64) {
 /// ≤ `Σ_{P*} maxcost`. The lower bound is symmetric: for any
 /// materialisation and its optimal path `P`,
 /// cost ≥ `Σ_P mincost ≥ min_P Σ mincost`.
-pub fn dtw_interval_bounds(
-    x: &MultiObsSeries,
-    y: &MultiObsSeries,
-    opts: DtwOptions,
-) -> (f64, f64) {
+pub fn dtw_interval_bounds(x: &MultiObsSeries, y: &MultiObsSeries, opts: DtwOptions) -> (f64, f64) {
     let lb = dtw_with_cost(
         x.len(),
         y.len(),
@@ -432,7 +425,11 @@ fn convolve_probability(
     }
     if total_max == 0.0 {
         // All samples identical: distance is exactly zero.
-        return if 0.0 <= eps_sq { (1.0, 1.0) } else { (0.0, 0.0) };
+        return if 0.0 <= eps_sq {
+            (1.0, 1.0)
+        } else {
+            (0.0, 0.0)
+        };
     }
     let width = total_max / bins as f64;
     // lo_hist[k]: mass with true sum ≥ k·width (shift floored).

@@ -83,7 +83,11 @@ impl DistanceStats {
         assert!(epsilon >= 0.0, "distance threshold must be non-negative");
         if self.var_sq <= 0.0 {
             // Degenerate: no uncertainty at all; the distance is a constant.
-            return if self.mean_sq <= epsilon * epsilon { 1.0 } else { 0.0 };
+            return if self.mean_sq <= epsilon * epsilon {
+                1.0
+            } else {
+                0.0
+            };
         }
         Normal::phi((epsilon * epsilon - self.mean_sq) / self.var_sq.sqrt())
     }
@@ -178,13 +182,24 @@ impl Proud {
     }
 
     /// `Pr(distance(X, Y) ≤ ε)` under the CLT approximation.
-    pub fn probability_within(&self, x: &UncertainSeries, y: &UncertainSeries, epsilon: f64) -> f64 {
+    pub fn probability_within(
+        &self,
+        x: &UncertainSeries,
+        y: &UncertainSeries,
+        epsilon: f64,
+    ) -> f64 {
         self.distance_stats(x, y).probability_within(epsilon)
     }
 
     /// PRQ membership test: `Pr(distance ≤ ε) ≥ τ`, evaluated exactly as
     /// the paper does — `ε_norm(X, Y) ≥ ε_limit(τ)` (Eq. 10).
-    pub fn matches(&self, x: &UncertainSeries, y: &UncertainSeries, epsilon: f64, tau: f64) -> bool {
+    pub fn matches(
+        &self,
+        x: &UncertainSeries,
+        y: &UncertainSeries,
+        epsilon: f64,
+        tau: f64,
+    ) -> bool {
         let stats = self.distance_stats(x, y);
         stats.epsilon_norm(epsilon) >= Self::epsilon_limit(tau)
     }
@@ -370,7 +385,8 @@ mod unit {
         for _ in 0..trials {
             let mut d2 = 0.0;
             for i in 0..n {
-                let delta = x.value_at(i) - y.value_at(i) + pe.sample(&mut rng) - pe.sample(&mut rng);
+                let delta =
+                    x.value_at(i) - y.value_at(i) + pe.sample(&mut rng) - pe.sample(&mut rng);
                 d2 += delta * delta;
             }
             if d2.sqrt() <= eps {

@@ -124,7 +124,10 @@ impl Default for Uema {
 impl Uema {
     /// Creates a UEMA filter.
     pub fn new(w: usize, lambda: f64) -> Self {
-        assert!(lambda >= 0.0, "decay factor must be non-negative, got {lambda}");
+        assert!(
+            lambda >= 0.0,
+            "decay factor must be non-negative, got {lambda}"
+        );
         Self {
             w,
             lambda,
@@ -280,7 +283,10 @@ mod unit {
             &ErrorSpec::paper_mixed(ErrorFamily::Normal),
             Seed::new(5),
         );
-        for norm in [WeightNormalization::Literal, WeightNormalization::Normalized] {
+        for norm in [
+            WeightNormalization::Literal,
+            WeightNormalization::Normalized,
+        ] {
             let uma = Uma {
                 w: 3,
                 normalization: norm,

@@ -47,7 +47,8 @@ impl Dataset {
         assert!(n > 0, "cannot subsample to zero series");
         // Per-class index queues in original order.
         let n_classes = self.labels.iter().copied().max().map_or(1, |m| m + 1);
-        let mut queues: Vec<std::collections::VecDeque<usize>> = vec![Default::default(); n_classes];
+        let mut queues: Vec<std::collections::VecDeque<usize>> =
+            vec![Default::default(); n_classes];
         for (i, &l) in self.labels.iter().enumerate() {
             queues[l].push_back(i);
         }
@@ -116,45 +117,36 @@ impl Catalogue {
         let meta = id.meta();
         let seed = self.seed.derive(meta.name);
         let (series, labels) = match id {
-            DatasetId::Cbf => special::generate_with(
-                meta.n_series,
-                meta.n_classes,
-                seed,
-                |rng, class| {
+            DatasetId::Cbf => {
+                special::generate_with(meta.n_series, meta.n_classes, seed, |rng, class| {
                     let c = [
                         special::CbfClass::Cylinder,
                         special::CbfClass::Bell,
                         special::CbfClass::Funnel,
                     ][class];
                     special::cbf_series(rng, c, meta.length)
-                },
-            ),
-            DatasetId::SyntheticControl => special::generate_with(
-                meta.n_series,
-                meta.n_classes,
-                seed,
-                |rng, class| {
+                })
+            }
+            DatasetId::SyntheticControl => {
+                special::generate_with(meta.n_series, meta.n_classes, seed, |rng, class| {
                     special::control_series(rng, special::ControlClass::ALL[class], meta.length)
-                },
-            ),
-            DatasetId::GunPoint => special::generate_with(
-                meta.n_series,
-                meta.n_classes,
-                seed,
-                |rng, class| special::gunpoint_series(rng, class, meta.length),
-            ),
-            DatasetId::Ecg200 => special::generate_with(
-                meta.n_series,
-                meta.n_classes,
-                seed,
-                |rng, class| special::ecg_series(rng, class, meta.length),
-            ),
-            DatasetId::Trace => special::generate_with(
-                meta.n_series,
-                meta.n_classes,
-                seed,
-                |rng, class| special::trace_series(rng, class, meta.length),
-            ),
+                })
+            }
+            DatasetId::GunPoint => {
+                special::generate_with(meta.n_series, meta.n_classes, seed, |rng, class| {
+                    special::gunpoint_series(rng, class, meta.length)
+                })
+            }
+            DatasetId::Ecg200 => {
+                special::generate_with(meta.n_series, meta.n_classes, seed, |rng, class| {
+                    special::ecg_series(rng, class, meta.length)
+                })
+            }
+            DatasetId::Trace => {
+                special::generate_with(meta.n_series, meta.n_classes, seed, |rng, class| {
+                    special::trace_series(rng, class, meta.length)
+                })
+            }
             DatasetId::Beef | DatasetId::Coffee | DatasetId::OliveOil => {
                 let separation = match meta.spread {
                     Spread::Tight => 0.12,
@@ -320,8 +312,8 @@ mod unit {
         for meta in &crate::meta::ALL_DATASETS {
             let d = cat.generate_scaled(meta.id, 40);
             let values = d.all_values();
-            let out = uts_stats::chi_square_uniformity(&values, 20)
-                .expect("enough samples for the test");
+            let out =
+                uts_stats::chi_square_uniformity(&values, 20).expect("enough samples for the test");
             assert!(
                 out.reject_at(0.01),
                 "{}: uniformity not rejected (p = {})",

@@ -190,12 +190,7 @@ impl SmoothWarp {
     /// Draws a random warp with maximum displacement ~`strength`.
     pub fn random<R: Rng + ?Sized>(rng: &mut R, strength: f64) -> Self {
         let terms = (1..=3)
-            .map(|k| {
-                (
-                    strength / k as f64 * rng.gen_range(-1.0..1.0),
-                    k as f64,
-                )
-            })
+            .map(|k| (strength / k as f64 * rng.gen_range(-1.0..1.0), k as f64))
             .collect();
         Self { terms }
     }
@@ -382,7 +377,9 @@ mod unit {
         let ramp: Vec<f64> = (0..100).map(|i| i as f64).collect();
         assert!(lag1_autocorrelation(&ramp) > 0.9);
         // Alternating signs are strongly anti-correlated.
-        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alt: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(lag1_autocorrelation(&alt) < -0.9);
         // Degenerate inputs.
         assert!(lag1_autocorrelation(&[1.0, 2.0]).is_nan());

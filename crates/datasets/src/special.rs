@@ -280,7 +280,12 @@ pub fn nearest_centroid_accuracy(series: &[TimeSeries], labels: &[usize], n_clas
 }
 
 /// Convenience: iterate `n` seeded series from a per-series generator.
-pub fn generate_with<F>(n: usize, n_classes: usize, seed: Seed, mut f: F) -> (Vec<TimeSeries>, Vec<usize>)
+pub fn generate_with<F>(
+    n: usize,
+    n_classes: usize,
+    seed: Seed,
+    mut f: F,
+) -> (Vec<TimeSeries>, Vec<usize>)
 where
     F: FnMut(&mut rand::rngs::StdRng, usize) -> TimeSeries,
 {
@@ -344,8 +349,7 @@ mod unit {
     #[test]
     fn ecg_classes_differ() {
         let seed = Seed::new(6);
-        let (series, labels) =
-            generate_with(80, 2, seed, |rng, class| ecg_series(rng, class, 96));
+        let (series, labels) = generate_with(80, 2, seed, |rng, class| ecg_series(rng, class, 96));
         let acc = nearest_centroid_accuracy(&series, &labels, 2);
         assert!(acc > 0.7, "ecg centroid accuracy {acc}");
     }
@@ -378,7 +382,10 @@ mod unit {
             }
         }
         let avg = acc / count as f64;
-        assert!(avg < 15.0, "spectro datasets must be tight, avg distance {avg}");
+        assert!(
+            avg < 15.0,
+            "spectro datasets must be tight, avg distance {avg}"
+        );
     }
 
     #[test]

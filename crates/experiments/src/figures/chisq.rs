@@ -42,7 +42,12 @@ pub fn run(config: &ExpConfig) -> Vec<Table> {
             format!("{:.1}", outcome.statistic),
             outcome.dof.to_string(),
             format!("{:.3e}", outcome.p_value),
-            if outcome.reject_at(ALPHA) { "yes" } else { "NO" }.to_string(),
+            if outcome.reject_at(ALPHA) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     vec![table]

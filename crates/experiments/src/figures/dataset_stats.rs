@@ -57,7 +57,10 @@ pub fn run(config: &ExpConfig) -> Vec<Table> {
             .sum::<f64>()
             / 20.0;
 
-        let seed = config.seed.derive("dataset-stats").derive(dataset.meta.name);
+        let seed = config
+            .seed
+            .derive("dataset-stats")
+            .derive(dataset.meta.name);
         let task = build_task(
             dataset,
             &spec,

@@ -86,10 +86,19 @@ pub fn run_dtw(config: &ExpConfig) -> Vec<Table> {
     let dust = Dust::default();
 
     // Four measures over observed series.
-    type Measure<'a> = (&'a str, Box<dyn Fn(&UncertainSeries, &UncertainSeries) -> f64 + Sync + 'a>);
+    type Measure<'a> = (
+        &'a str,
+        Box<dyn Fn(&UncertainSeries, &UncertainSeries) -> f64 + Sync + 'a>,
+    );
     let measures: Vec<Measure> = vec![
-        ("Euclidean", Box::new(|a, b| euclidean(a.values(), b.values()))),
-        ("DTW", Box::new(move |a, b| dtw(a.values(), b.values(), opts))),
+        (
+            "Euclidean",
+            Box::new(|a, b| euclidean(a.values(), b.values())),
+        ),
+        (
+            "DTW",
+            Box::new(move |a, b| dtw(a.values(), b.values(), opts)),
+        ),
         ("DUST", Box::new(|a, b| dust.distance(a, b))),
         ("DUST-DTW", Box::new(|a, b| dust.dtw_distance(a, b, opts))),
     ];
@@ -343,9 +352,7 @@ pub fn run_bridge(config: &ExpConfig) -> Vec<Table> {
             .series
             .iter()
             .enumerate()
-            .map(|(i, c)| {
-                perturb_multi(c, &spec, s, seed.derive_u64((s * 1000 + i) as u64))
-            })
+            .map(|(i, c)| perturb_multi(c, &spec, s, seed.derive_u64((s * 1000 + i) as u64)))
             .collect();
         // Bridge: estimate value + σ from the samples.
         let estimated: Vec<_> = multi
@@ -358,19 +365,12 @@ pub fn run_bridge(config: &ExpConfig) -> Vec<Table> {
             .map(|u| u.with_reported_sigma(sigma))
             .collect();
 
-        let task_est = MatchingTask::new(
-            dataset.series.clone(),
-            estimated,
-            Some(multi.clone()),
-            k,
-        );
+        let task_est = MatchingTask::new(dataset.series.clone(), estimated, Some(multi.clone()), k);
         let task_known = MatchingTask::new(dataset.series.clone(), known, None, k);
         let queries = pick_queries(n, config.scale.queries_per_dataset(), seed);
 
-        let dust_est =
-            crate::runner::technique_scores(&task_est, &queries, &figures::dust());
-        let dust_known =
-            crate::runner::technique_scores(&task_known, &queries, &figures::dust());
+        let dust_est = crate::runner::technique_scores(&task_est, &queries, &figures::dust());
+        let dust_known = crate::runner::technique_scores(&task_known, &queries, &figures::dust());
         let (_, proud_est) = technique_scores_optimal_tau(
             &task_est,
             &queries,
@@ -442,7 +442,11 @@ pub fn run_classify(config: &ExpConfig) -> Vec<Table> {
             "UEMA".into(),
         ],
     );
-    for id in [DatasetId::Cbf, DatasetId::GunPoint, DatasetId::SyntheticControl] {
+    for id in [
+        DatasetId::Cbf,
+        DatasetId::GunPoint,
+        DatasetId::SyntheticControl,
+    ] {
         let n = 48.min(config.scale.max_series());
         let dataset = Catalogue::new(seed).generate_scaled(id, n);
         let observed: Vec<UncertainSeries> = dataset

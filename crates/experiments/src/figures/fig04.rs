@@ -107,9 +107,15 @@ pub fn run(config: &ExpConfig) -> Vec<Table> {
 
             table.push_row(vec![
                 format!("{sigma:.1}"),
-                Table::cell_ci(munich.f1.mean(), munich.f1.confidence_interval(0.95).half_width),
+                Table::cell_ci(
+                    munich.f1.mean(),
+                    munich.f1.confidence_interval(0.95).half_width,
+                ),
                 Table::cell_ci(dust.f1.mean(), dust.f1.confidence_interval(0.95).half_width),
-                Table::cell_ci(proud.f1.mean(), proud.f1.confidence_interval(0.95).half_width),
+                Table::cell_ci(
+                    proud.f1.mean(),
+                    proud.f1.confidence_interval(0.95).half_width,
+                ),
                 Table::cell_ci(eucl.f1.mean(), eucl.f1.confidence_interval(0.95).half_width),
             ]);
         }

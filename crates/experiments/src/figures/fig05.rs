@@ -57,8 +57,7 @@ pub fn run(config: &ExpConfig) -> Vec<Table> {
                     config.ground_truth_k,
                     seed,
                 );
-                let queries =
-                    pick_queries(task.len(), config.scale.queries_per_dataset(), seed);
+                let queries = pick_queries(task.len(), config.scale.queries_per_dataset(), seed);
                 let (_, proud) = technique_scores_optimal_tau(
                     &task,
                     &queries,
@@ -105,6 +104,9 @@ mod unit {
         let tables = run(&config);
         assert_eq!(tables.len(), 3);
         assert_eq!(tables[0].rows.len(), Scale::Quick.sigma_grid().len());
-        assert_eq!(tables[0].headers, vec!["sigma", "DUST", "PROUD", "Euclidean"]);
+        assert_eq!(
+            tables[0].headers,
+            vec!["sigma", "DUST", "PROUD", "Euclidean"]
+        );
     }
 }

@@ -74,8 +74,7 @@ pub fn run(config: &ExpConfig, which: Which) -> Vec<Table> {
                     config.ground_truth_k,
                     seed,
                 );
-                let queries =
-                    pick_queries(task.len(), config.scale.queries_per_dataset(), seed);
+                let queries = pick_queries(task.len(), config.scale.queries_per_dataset(), seed);
                 let scores = match which {
                     Which::Proud => {
                         technique_scores_optimal_tau(

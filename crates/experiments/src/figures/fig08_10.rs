@@ -70,14 +70,7 @@ pub fn run(config: &ExpConfig, which: Which) -> Vec<Table> {
             .derive("fig8-10")
             .derive(dataset.meta.name)
             .derive_u64(which as u64);
-        let task = build_task(
-            dataset,
-            &spec,
-            reported,
-            None,
-            config.ground_truth_k,
-            seed,
-        );
+        let task = build_task(dataset, &spec, reported, None, config.ground_truth_k, seed);
         let queries = pick_queries(task.len(), config.scale.queries_per_dataset(), seed);
         let eucl = technique_scores(&task, &queries, &figures::euclidean());
         let dust = technique_scores(&task, &queries, &dust_t);
@@ -91,7 +84,10 @@ pub fn run(config: &ExpConfig, which: Which) -> Vec<Table> {
             dataset.meta.name.to_string(),
             Table::cell_ci(eucl.f1.mean(), eucl.f1.confidence_interval(0.95).half_width),
             Table::cell_ci(dust.f1.mean(), dust.f1.confidence_interval(0.95).half_width),
-            Table::cell_ci(proud.f1.mean(), proud.f1.confidence_interval(0.95).half_width),
+            Table::cell_ci(
+                proud.f1.mean(),
+                proud.f1.confidence_interval(0.95).half_width,
+            ),
         ]);
     }
     vec![table]

@@ -28,7 +28,11 @@ const LAMBDAS: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.
 
 /// Mean F1 of a filter technique over all datasets under the §5.2
 /// workload.
-fn mean_f1(config: &ExpConfig, datasets: &[uts_datasets::Dataset], technique: &Technique) -> ScoreAgg {
+fn mean_f1(
+    config: &ExpConfig,
+    datasets: &[uts_datasets::Dataset],
+    technique: &Technique,
+) -> ScoreAgg {
     let spec = ErrorSpec::paper_mixed(ErrorFamily::Normal);
     let mut agg = ScoreAgg::default();
     for dataset in datasets {
@@ -66,8 +70,14 @@ pub fn run_fig13(config: &ExpConfig) -> Vec<Table> {
         table.push_row(vec![
             w.to_string(),
             Table::cell_ci(uma.f1.mean(), uma.f1.confidence_interval(0.95).half_width),
-            Table::cell_ci(uema01.f1.mean(), uema01.f1.confidence_interval(0.95).half_width),
-            Table::cell_ci(uema1.f1.mean(), uema1.f1.confidence_interval(0.95).half_width),
+            Table::cell_ci(
+                uema01.f1.mean(),
+                uema01.f1.confidence_interval(0.95).half_width,
+            ),
+            Table::cell_ci(
+                uema1.f1.mean(),
+                uema1.f1.confidence_interval(0.95).half_width,
+            ),
         ]);
     }
     vec![table]

@@ -64,8 +64,14 @@ pub fn run(config: &ExpConfig, family: ErrorFamily) -> Vec<Table> {
             dataset.meta.name.to_string(),
             Table::cell_ci(eucl.f1.mean(), eucl.f1.confidence_interval(0.95).half_width),
             Table::cell_ci(dust.f1.mean(), dust.f1.confidence_interval(0.95).half_width),
-            Table::cell_ci(uma_s.f1.mean(), uma_s.f1.confidence_interval(0.95).half_width),
-            Table::cell_ci(uema_s.f1.mean(), uema_s.f1.confidence_interval(0.95).half_width),
+            Table::cell_ci(
+                uma_s.f1.mean(),
+                uma_s.f1.confidence_interval(0.95).half_width,
+            ),
+            Table::cell_ci(
+                uema_s.f1.mean(),
+                uema_s.f1.confidence_interval(0.95).half_width,
+            ),
         ]);
     }
     vec![table]

@@ -8,7 +8,7 @@
 //!   (`quick` / `paper-shape` / `full`).
 //! * [`table`] — result tables: aligned console output + CSV files.
 //! * [`runner`] — the workload builder (dataset → perturbed task) and the
-//!   parallel query-evaluation loop (crossbeam scoped threads).
+//!   parallel query-evaluation loop (`std::thread::scope`).
 //! * [`figures`] — the per-figure experiment drivers; see DESIGN.md §4
 //!   for the figure-by-figure index.
 //!
@@ -17,6 +17,12 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+
+#[cfg(feature = "serde")]
+compile_error!(
+    "the `serde` feature is a placeholder: the hermetic build has no vendored serde yet. \
+     Vendor a serde stand-in under vendor/ (and switch this gate off) before enabling it."
+);
 
 pub mod config;
 pub mod figures;

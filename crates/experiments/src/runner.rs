@@ -2,12 +2,11 @@
 //!
 //! Translates a clean [`Dataset`] plus an [`ErrorSpec`] into the paper's
 //! §4.1.2 matching task, picks the query set, and evaluates techniques
-//! over all queries in parallel (crossbeam scoped threads — queries are
+//! over all queries in parallel (`std::thread::scope` — queries are
 //! embarrassingly parallel).
 
 use std::time::Instant;
 
-use crossbeam::thread;
 use uts_core::matching::{MatchingTask, QualityScores, Technique};
 use uts_datasets::Dataset;
 use uts_stats::rng::Seed;
@@ -77,8 +76,8 @@ pub fn pick_queries(n: usize, count: usize, seed: Seed) -> Vec<usize> {
     idx
 }
 
-/// Parallel map over a slice with crossbeam scoped threads; preserves
-/// order. Falls back to sequential for tiny inputs.
+/// Parallel map over a slice with scoped threads; preserves order.
+/// Falls back to sequential for tiny inputs.
 pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -91,9 +90,9 @@ pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -
     results.resize_with(items.len(), || None);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results_ref = std::sync::Mutex::new(&mut results);
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
                     break;
@@ -104,8 +103,7 @@ pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -
                 guard[i] = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results
         .into_iter()
         .map(|r| r.expect("every slot filled"))
@@ -151,11 +149,7 @@ impl ScoreAgg {
 
 /// Evaluates a technique over the query set in parallel (full §4.1.2
 /// protocol per query: calibrate threshold → answer → score).
-pub fn technique_scores(
-    task: &MatchingTask,
-    queries: &[usize],
-    technique: &Technique,
-) -> ScoreAgg {
+pub fn technique_scores(task: &MatchingTask, queries: &[usize], technique: &Technique) -> ScoreAgg {
     let scores = parallel_map(queries, |&q| task.query_quality(q, technique));
     ScoreAgg::from_scores(&scores)
 }

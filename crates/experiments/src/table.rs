@@ -106,7 +106,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -143,8 +147,16 @@ mod unit {
             "Fig X: demo",
             vec!["sigma".into(), "DUST".into(), "Euclidean".into()],
         );
-        t.push_row(vec!["0.2".into(), Table::cell(0.91234), Table::cell_ci(0.9, 0.02)]);
-        t.push_row(vec!["2.0".into(), Table::cell(0.5), Table::cell_ci(0.45, f64::NAN)]);
+        t.push_row(vec![
+            "0.2".into(),
+            Table::cell(0.91234),
+            Table::cell_ci(0.9, 0.02),
+        ]);
+        t.push_row(vec![
+            "2.0".into(),
+            Table::cell(0.5),
+            Table::cell_ci(0.45, f64::NAN),
+        ]);
         t
     }
 

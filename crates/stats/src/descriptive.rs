@@ -251,7 +251,10 @@ pub fn autocorrelation(values: &[f64], max_lag: usize) -> Option<Vec<f64>> {
 /// (type-7 estimator, the R/NumPy default).
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of empty sample");
-    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile level must be in [0,1], got {q}"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }
@@ -280,7 +283,10 @@ impl Histogram {
     /// Creates an empty histogram with `bins` equal-width bins on `[lo, hi]`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "invalid range [{lo}, {hi}]");
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "invalid range [{lo}, {hi}]"
+        );
         Self {
             lo,
             hi,
@@ -365,7 +371,9 @@ mod unit {
 
     #[test]
     fn moments_merge_equals_sequential() {
-        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 3.0 + 1.0).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 3.0 + 1.0)
+            .collect();
         let whole = Moments::from_slice(&xs);
         let mut left = Moments::from_slice(&xs[..33]);
         let right = Moments::from_slice(&xs[33..]);
@@ -451,7 +459,9 @@ mod unit {
         // Smooth sinusoid: strong positive short-lag correlation.
         assert!(acf[1] > 0.9);
         // Alternating series: acf[1] ≈ −1.
-        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alt: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let acf = autocorrelation(&alt, 2).unwrap();
         assert!(acf[1] < -0.9);
         assert!(acf[2] > 0.9);

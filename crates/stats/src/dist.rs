@@ -69,7 +69,10 @@ pub struct Normal {
 
 impl Normal {
     /// Standard normal `N(0, 1)`.
-    pub const STANDARD: Normal = Normal { mean: 0.0, std: 1.0 };
+    pub const STANDARD: Normal = Normal {
+        mean: 0.0,
+        std: 1.0,
+    };
 
     /// Creates `N(mean, std²)`. Panics if `std` is not strictly positive
     /// and finite — a zero-width normal is a modelling bug everywhere this
@@ -432,7 +435,10 @@ pub struct ChiSquared {
 impl ChiSquared {
     /// Creates a chi-squared distribution; panics unless `k > 0` and finite.
     pub fn new(k: f64) -> Self {
-        assert!(k > 0.0 && k.is_finite(), "ChiSquared::new requires k > 0, got {k}");
+        assert!(
+            k > 0.0 && k.is_finite(),
+            "ChiSquared::new requires k > 0, got {k}"
+        );
         Self { k }
     }
 
@@ -543,7 +549,10 @@ pub struct StudentT {
 impl StudentT {
     /// Creates a Student-t distribution; panics unless `nu > 0` and finite.
     pub fn new(nu: f64) -> Self {
-        assert!(nu > 0.0 && nu.is_finite(), "StudentT::new requires nu > 0, got {nu}");
+        assert!(
+            nu > 0.0 && nu.is_finite(),
+            "StudentT::new requires nu > 0, got {nu}"
+        );
         Self { nu }
     }
 
@@ -590,13 +599,7 @@ impl ContinuousDistribution for StudentT {
         // Normal start, then monotone inversion; t quantiles are heavier
         // tailed than normal, so widen the bracket geometrically.
         let guess = Normal::phi_inv(p);
-        invert_cdf_monotone(
-            |x| self.cdf(x),
-            guess,
-            f64::NEG_INFINITY,
-            f64::INFINITY,
-            p,
-        )
+        invert_cdf_monotone(|x| self.cdf(x), guess, f64::NEG_INFINITY, f64::INFINITY, p)
     }
 
     fn mean(&self) -> f64 {
@@ -792,7 +795,10 @@ mod unit {
             for i in 1..100 {
                 let p = i as f64 / 100.0;
                 let (got, want) = f(p);
-                assert!(approx(got, want, 1e-9), "round trip failed at p={want}: {got}");
+                assert!(
+                    approx(got, want, 1e-9),
+                    "round trip failed at p={want}: {got}"
+                );
             }
         }
     }

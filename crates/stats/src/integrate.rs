@@ -17,14 +17,11 @@
 /// let got = adaptive_simpson(|x| x * x, 0.0, 3.0, 1e-12, 30);
 /// assert!((got - 9.0).abs() < 1e-10);
 /// ```
-pub fn adaptive_simpson(
-    f: impl Fn(f64) -> f64,
-    a: f64,
-    b: f64,
-    tol: f64,
-    max_depth: u32,
-) -> f64 {
-    assert!(a.is_finite() && b.is_finite(), "integration bounds must be finite");
+pub fn adaptive_simpson(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64, max_depth: u32) -> f64 {
+    assert!(
+        a.is_finite() && b.is_finite(),
+        "integration bounds must be finite"
+    );
     if a == b {
         return 0.0;
     }

@@ -38,8 +38,6 @@ pub mod special;
 pub mod tests;
 
 pub use descriptive::{autocorrelation, ConfidenceInterval, Histogram, Moments, Summary};
-pub use dist::{
-    ChiSquared, ContinuousDistribution, Exponential, Normal, StudentT, Uniform,
-};
+pub use dist::{ChiSquared, ContinuousDistribution, Exponential, Normal, StudentT, Uniform};
 pub use special::{erf, erfc, ln_gamma, reg_inc_beta, reg_inc_gamma_p, reg_inc_gamma_q};
 pub use tests::{chi_square_gof, chi_square_uniformity, ChiSquareOutcome};

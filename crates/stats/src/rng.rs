@@ -81,7 +81,10 @@ mod unit {
         let root = Seed::new(99);
         let mut seen = std::collections::HashSet::new();
         for label in ["a", "b", "ab", "ba", ""] {
-            assert!(seen.insert(root.derive(label).value()), "collision on {label:?}");
+            assert!(
+                seen.insert(root.derive(label).value()),
+                "collision on {label:?}"
+            );
         }
         for i in 0..100u64 {
             assert!(seen.insert(root.derive_u64(i).value()), "collision on {i}");

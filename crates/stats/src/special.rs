@@ -332,10 +332,7 @@ mod unit {
     fn erf_matches_reference() {
         for &(x, want) in ERF_TABLE {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 1e-13,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-13, "erf({x}) = {got}, want {want}");
             // Odd symmetry.
             assert!((erf(-x) + want).abs() < 1e-13);
         }

@@ -38,13 +38,20 @@ impl ChiSquareOutcome {
 /// # Panics
 /// On mismatched lengths, empty input, or non-positive expected counts —
 /// these are caller bugs, not data conditions.
-pub fn chi_square_gof(observed: &[u64], expected: &[f64], fitted_params: usize) -> ChiSquareOutcome {
+pub fn chi_square_gof(
+    observed: &[u64],
+    expected: &[f64],
+    fitted_params: usize,
+) -> ChiSquareOutcome {
     assert_eq!(
         observed.len(),
         expected.len(),
         "observed/expected bin count mismatch"
     );
-    assert!(!observed.is_empty(), "chi-square test needs at least one bin");
+    assert!(
+        !observed.is_empty(),
+        "chi-square test needs at least one bin"
+    );
     assert!(
         observed.len() > 1 + fitted_params,
         "not enough bins ({}) for {} fitted parameters",

@@ -1,9 +1,7 @@
 //! Property-based tests for the statistics substrate.
 
 use proptest::prelude::*;
-use uts_stats::dist::{
-    ChiSquared, ContinuousDistribution, Exponential, Normal, StudentT, Uniform,
-};
+use uts_stats::dist::{ChiSquared, ContinuousDistribution, Exponential, Normal, StudentT, Uniform};
 use uts_stats::integrate::{adaptive_simpson, composite_gl16};
 use uts_stats::rng::Seed;
 use uts_stats::{erf, erfc, ln_gamma, reg_inc_beta, reg_inc_gamma_p, Moments};

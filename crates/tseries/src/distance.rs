@@ -44,13 +44,21 @@ pub fn euclidean(x: &[f64], y: &[f64]) -> f64 {
 
 /// Manhattan (L1) distance `Σ |xᵢ − yᵢ|`.
 pub fn manhattan(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "manhattan distance requires equal lengths");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "manhattan distance requires equal lengths"
+    );
     x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum()
 }
 
 /// Chebyshev (L∞) distance `max |xᵢ − yᵢ|`.
 pub fn chebyshev(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "chebyshev distance requires equal lengths");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "chebyshev distance requires equal lengths"
+    );
     x.iter()
         .zip(y)
         .map(|(a, b)| (a - b).abs())

@@ -65,7 +65,11 @@ pub fn dtw_with_cost(
             } else {
                 let up = if i > 0 { prev[j] } else { f64::INFINITY };
                 let left = if j > 0 { curr[j - 1] } else { f64::INFINITY };
-                let diag = if i > 0 && j > 0 { prev[j - 1] } else { f64::INFINITY };
+                let diag = if i > 0 && j > 0 {
+                    prev[j - 1]
+                } else {
+                    f64::INFINITY
+                };
                 up.min(left).min(diag)
             };
             curr[j] = c + best_prev;

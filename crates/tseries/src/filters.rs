@@ -31,8 +31,13 @@ pub fn moving_average(values: &[f64], w: usize) -> Vec<f64> {
 ///
 /// `λ = 0` reduces to the plain moving average.
 pub fn exponential_moving_average(values: &[f64], w: usize, lambda: f64) -> Vec<f64> {
-    assert!(lambda >= 0.0, "decay factor must be non-negative, got {lambda}");
-    weighted_window_filter(values, w, |offset| (-lambda * offset.unsigned_abs() as f64).exp())
+    assert!(
+        lambda >= 0.0,
+        "decay factor must be non-negative, got {lambda}"
+    );
+    weighted_window_filter(values, w, |offset| {
+        (-lambda * offset.unsigned_abs() as f64).exp()
+    })
 }
 
 /// Generic centred-window weighted filter:
@@ -42,11 +47,7 @@ pub fn exponential_moving_average(values: &[f64], w: usize, lambda: f64) -> Vec<
 /// `weight` receives the signed offset `j − i` and must return a
 /// non-negative finite weight; a zero total weight in some window (all
 /// weights zero) is a caller bug and panics.
-pub fn weighted_window_filter(
-    values: &[f64],
-    w: usize,
-    weight: impl Fn(isize) -> f64,
-) -> Vec<f64> {
+pub fn weighted_window_filter(values: &[f64], w: usize, weight: impl Fn(isize) -> f64) -> Vec<f64> {
     let n = values.len();
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
@@ -129,7 +130,9 @@ mod unit {
     fn ma_preserves_constants() {
         let xs = [4.2; 9];
         for w in 0..5 {
-            assert!(moving_average(&xs, w).iter().all(|&v| (v - 4.2).abs() < 1e-12));
+            assert!(moving_average(&xs, w)
+                .iter()
+                .all(|&v| (v - 4.2).abs() < 1e-12));
         }
     }
 
@@ -156,7 +159,9 @@ mod unit {
     #[test]
     fn ema_smooths_noise() {
         // Alternating ±1: any averaging with w > 0 must shrink the amplitude.
-        let xs: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let out = exponential_moving_average(&xs, 2, 0.5);
         let max_abs = out.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         assert!(max_abs < 1.0);

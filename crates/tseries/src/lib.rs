@@ -21,6 +21,12 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+#[cfg(feature = "serde")]
+compile_error!(
+    "the `serde` feature is a placeholder: the hermetic build has no vendored serde yet. \
+     Vendor a serde stand-in under vendor/ (and switch this gate off) before enabling it."
+);
+
 pub mod distance;
 pub mod dtw;
 pub mod filters;
@@ -35,6 +41,6 @@ pub use dtw::{dtw, dtw_with_cost, lb_keogh, DtwOptions};
 pub use filters::{exponential_moving_average, moving_average};
 pub use haar::{haar_forward, haar_inverse, HaarSynopsis};
 pub use paa::{paa, PaaSynopsis};
-pub use sax::{sax_breakpoints, SaxWord};
 pub use resample::resample_linear;
+pub use sax::{sax_breakpoints, SaxWord};
 pub use series::TimeSeries;

@@ -144,7 +144,10 @@ mod unit {
         assert_eq!(out.len(), 3);
         let mean_in: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
         let mean_out: f64 = out.iter().sum::<f64>() / out.len() as f64;
-        assert!((mean_in - mean_out).abs() < 1e-12, "{mean_in} vs {mean_out}");
+        assert!(
+            (mean_in - mean_out).abs() < 1e-12,
+            "{mean_in} vs {mean_out}"
+        );
     }
 
     #[test]
@@ -157,7 +160,9 @@ mod unit {
 
     #[test]
     fn lower_bound_holds_and_tightens() {
-        let x: Vec<f64> = (0..64).map(|i| (i as f64 / 5.0).sin() + 0.1 * (i as f64)).collect();
+        let x: Vec<f64> = (0..64)
+            .map(|i| (i as f64 / 5.0).sin() + 0.1 * (i as f64))
+            .collect();
         let y: Vec<f64> = (0..64).map(|i| (i as f64 / 4.0).cos() * 1.4).collect();
         let full = euclidean(&x, &y);
         let mut prev = 0.0;

@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 use uts_tseries::{
-    chebyshev, dtw, euclidean, exponential_moving_average, haar_forward, haar_inverse,
-    lb_keogh, lp_distance, manhattan, moving_average, paa, resample_linear, DtwOptions,
-    HaarSynopsis, PaaSynopsis, SaxWord, TimeSeries,
+    chebyshev, dtw, euclidean, exponential_moving_average, haar_forward, haar_inverse, lb_keogh,
+    lp_distance, manhattan, moving_average, paa, resample_linear, DtwOptions, HaarSynopsis,
+    PaaSynopsis, SaxWord, TimeSeries,
 };
 
 fn series_strategy(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -39,6 +39,23 @@ proptest! {
         let d15 = lp_distance(x, y, 1.5);
         prop_assert!(d15 <= manhattan(x, y) + 1e-9);
         prop_assert!(d15 + 1e-9 >= chebyshev(x, y));
+    }
+
+    #[test]
+    fn euclidean_symmetric_under_scaling(
+        x in series_strategy(1, 32),
+        y in series_strategy(1, 32),
+        scale in 0.01..100.0f64,
+    ) {
+        // Dedicated symmetry check, including under a common rescaling
+        // (distances scale linearly; symmetry must be exact either way).
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        prop_assert!((euclidean(x, y) - euclidean(y, x)).abs() < 1e-12);
+        let xs: Vec<f64> = x.iter().map(|v| v * scale).collect();
+        let ys: Vec<f64> = y.iter().map(|v| v * scale).collect();
+        prop_assert!((euclidean(&xs, &ys) - euclidean(&ys, &xs)).abs() < 1e-12);
+        prop_assert!((euclidean(&xs, &ys) - scale * euclidean(x, y)).abs() < 1e-7 * (1.0 + scale));
     }
 
     // ---- z-normalisation ----------------------------------------------
@@ -160,6 +177,29 @@ proptest! {
         let d1 = dtw(&x, &y, DtwOptions::default());
         let d2 = dtw(&y, &x, DtwOptions::default());
         prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_identity_is_zero(x in series_strategy(1, 32), band in 0usize..8) {
+        // dtw(x, x) = 0 for every band width: the diagonal path has zero
+        // cost and is always admissible.
+        prop_assert!(dtw(&x, &x, DtwOptions::default()) < 1e-12);
+        prop_assert!(dtw(&x, &x, DtwOptions::with_band(band)) < 1e-12);
+        prop_assert!(lb_keogh(&x, &x, band) < 1e-12);
+    }
+
+    #[test]
+    fn lb_keogh_full_band_bounds_unconstrained_dtw(
+        x in series_strategy(3, 20),
+        y in series_strategy(3, 20),
+    ) {
+        // With the envelope as wide as the series, LB_Keogh lower-bounds
+        // even unconstrained DTW.
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let lb = lb_keogh(x, y, n);
+        let d = dtw(x, y, DtwOptions::default());
+        prop_assert!(lb <= d + 1e-9, "lb={lb} dtw={d}");
     }
 
     // ---- Haar -------------------------------------------------------------

@@ -21,6 +21,12 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+#[cfg(feature = "serde")]
+compile_error!(
+    "the `serde` feature is a placeholder: the hermetic build has no vendored serde yet. \
+     Vendor a serde stand-in under vendor/ (and switch this gate off) before enabling it."
+);
+
 pub mod error_model;
 pub mod perturb;
 pub mod series;

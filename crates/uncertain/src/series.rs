@@ -143,7 +143,10 @@ impl MultiObsSeries {
     /// If `rows` is empty, rows have unequal lengths, any row is empty,
     /// or any observation is non-finite.
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
-        assert!(!rows.is_empty(), "MultiObsSeries requires at least one timestamp");
+        assert!(
+            !rows.is_empty(),
+            "MultiObsSeries requires at least one timestamp"
+        );
         let s = rows[0].len();
         assert!(s > 0, "each timestamp needs at least one observation");
         assert!(
@@ -152,7 +155,10 @@ impl MultiObsSeries {
         );
         let len = rows.len();
         let obs: Box<[f64]> = rows.into_iter().flatten().collect();
-        assert!(obs.iter().all(|v| v.is_finite()), "observations must be finite");
+        assert!(
+            obs.iter().all(|v| v.is_finite()),
+            "observations must be finite"
+        );
         Self {
             obs,
             len,

@@ -88,9 +88,20 @@ impl ErrorSpec {
     }
 
     /// General mixed-σ constructor with validation.
-    pub fn mixed_sigma(family: ErrorFamily, frac_high: f64, sigma_high: f64, sigma_low: f64) -> Self {
-        assert!((0.0..=1.0).contains(&frac_high), "frac_high must be in [0,1]");
-        assert!(sigma_high > 0.0 && sigma_low > 0.0, "sigmas must be positive");
+    pub fn mixed_sigma(
+        family: ErrorFamily,
+        frac_high: f64,
+        sigma_high: f64,
+        sigma_low: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&frac_high),
+            "frac_high must be in [0,1]"
+        );
+        assert!(
+            sigma_high > 0.0 && sigma_low > 0.0,
+            "sigmas must be positive"
+        );
         ErrorSpec::MixedSigma {
             family,
             frac_high,
@@ -131,7 +142,10 @@ impl ErrorSpec {
                 sigma_high,
                 sigma_low,
             } => {
-                assert!(!families.is_empty(), "MixedFamily requires at least one family");
+                assert!(
+                    !families.is_empty(),
+                    "MixedFamily requires at least one family"
+                );
                 let highs = high_positions(len, *frac_high, &mut rng);
                 (0..len)
                     .map(|i| {
@@ -204,7 +218,9 @@ mod unit {
         let spec = ErrorSpec::constant(ErrorFamily::Normal, 0.5);
         let errs = spec.realize(10, Seed::new(1));
         assert_eq!(errs.len(), 10);
-        assert!(errs.iter().all(|e| e.sigma == 0.5 && e.family == ErrorFamily::Normal));
+        assert!(errs
+            .iter()
+            .all(|e| e.sigma == 0.5 && e.family == ErrorFamily::Normal));
     }
 
     #[test]

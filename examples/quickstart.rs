@@ -75,7 +75,10 @@ fn main() {
 
     let queries: Vec<usize> = (0..8).collect();
     let tau_grid = uncertts::core::matching::default_tau_grid();
-    println!("\n{:>10}  {:>9}  {:>9}  {:>9}", "technique", "precision", "recall", "F1");
+    println!(
+        "\n{:>10}  {:>9}  {:>9}  {:>9}",
+        "technique", "precision", "recall", "F1"
+    );
     for (name, technique) in &techniques {
         // Probabilistic techniques run at their best τ, as in the paper
         // ("the optimal probabilistic threshold, determined after

@@ -96,7 +96,12 @@ fn main() {
     let ranked = TopK::new(8).evaluate(&query, &observations, &uema);
     for (rank, (machine, dist)) in ranked.iter().enumerate() {
         let truth = if *machine < 5 { "FAULT" } else { "ok" };
-        println!("  #{:<2} machine {:>2}  distance {:>7.3}  ground truth: {truth}", rank + 1, machine, dist);
+        println!(
+            "  #{:<2} machine {:>2}  distance {:>7.3}  ground truth: {truth}",
+            rank + 1,
+            machine,
+            dist
+        );
     }
 
     // Range alert: flag everything within the distance of the 5th-ranked

@@ -55,7 +55,11 @@ fn main() {
         monitor.push(obs_live, obs_ref, sigma, sigma);
         if t % 24 == 0 || (alarm_at.is_none() && !monitor.matches(eps, tau) && t > window) {
             let p = monitor.probability_within(eps);
-            let state = if monitor.matches(eps, tau) { "ok" } else { "ALARM" };
+            let state = if monitor.matches(eps, tau) {
+                "ok"
+            } else {
+                "ALARM"
+            };
             println!("t = {t:>3}  Pr(d ≤ ε) = {p:>9.3e}  [{state}]");
             if state == "ALARM" && alarm_at.is_none() {
                 alarm_at = Some(t);
@@ -75,10 +79,7 @@ fn main() {
     // stream? Subsequence scan with the post-fault pattern.
     let errors = vec![pe; n];
     let recorded = UncertainSeries::new(
-        live_truth
-            .iter()
-            .map(|v| v + pe.sample(&mut rng))
-            .collect(),
+        live_truth.iter().map(|v| v + pe.sample(&mut rng)).collect(),
         errors.clone(),
     );
     let pattern = UncertainSeries::new(

@@ -35,7 +35,11 @@ fn main() {
     let task = MatchingTask::new(dataset.series.clone(), uncertain, None, 10);
 
     let q = 3;
-    println!("query: series #{q} of {} ({} dataset, σ = {sigma})\n", task.len(), dataset.meta.name);
+    println!(
+        "query: series #{q} of {} ({} dataset, σ = {sigma})\n",
+        task.len(),
+        dataset.meta.name
+    );
 
     // Step 1-2: ground truth and the anchor c.
     let gt = task.ground_truth(q);
@@ -59,7 +63,10 @@ fn main() {
         proud: Proud::new(ProudConfig::with_sigma(sigma)),
         tau: 0.3,
     };
-    println!("\n{:>10}  {:>7}  {:>9}  {:>7}  {:>6}", "technique", "|answer|", "precision", "recall", "F1");
+    println!(
+        "\n{:>10}  {:>7}  {:>9}  {:>7}  {:>6}",
+        "technique", "|answer|", "precision", "recall", "F1"
+    );
     for (name, technique) in [
         ("Euclidean", &Technique::Euclidean),
         ("DUST", &dust),
@@ -79,7 +86,10 @@ fn main() {
 
     // Bonus: how τ moves PROUD along the precision/recall curve.
     println!("\nPROUD precision/recall as τ varies (same ε):");
-    println!("{:>6}  {:>7}  {:>9}  {:>7}  {:>6}", "τ", "|answer|", "precision", "recall", "F1");
+    println!(
+        "{:>6}  {:>7}  {:>9}  {:>7}  {:>6}",
+        "τ", "|answer|", "precision", "recall", "F1"
+    );
     for tau in [0.05, 0.2, 0.4, 0.6, 0.8, 0.95] {
         let t = proud.with_tau(tau);
         let eps = task.calibrated_threshold(q, &t);

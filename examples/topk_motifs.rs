@@ -35,7 +35,10 @@ fn main() {
     let q = 0;
     let others: Vec<_> = collection[1..].to_vec();
     let top = TopK::new(5).evaluate(&collection[q], &others, &dust);
-    println!("top-5 DUST neighbours of series #{q} (class {}):", dataset.labels[q]);
+    println!(
+        "top-5 DUST neighbours of series #{q} (class {}):",
+        dataset.labels[q]
+    );
     for (rank, (i, d)) in top.iter().enumerate() {
         // +1: the query itself was removed from the collection head.
         println!(

@@ -50,7 +50,7 @@ pub use uts_uncertain as uncertain;
 pub mod prelude {
     pub use uts_core::dust::{Dust, DustConfig};
     pub use uts_core::euclidean::euclidean_distance;
-    pub use uts_core::matching::{MatchingTask, QualityScores, TechniqueKind};
+    pub use uts_core::matching::{MatchingTask, QualityScores, Technique, TechniqueKind};
     pub use uts_core::munich::{Munich, MunichConfig};
     pub use uts_core::proud::{Proud, ProudConfig};
     pub use uts_core::uma::{Uema, Uma};
@@ -58,6 +58,6 @@ pub mod prelude {
     pub use uts_stats::rng::Seed;
     pub use uts_tseries::TimeSeries;
     pub use uts_uncertain::{
-        perturb, ErrorFamily, ErrorSpec, MultiObsSeries, UncertainSeries,
+        perturb, ErrorFamily, ErrorSpec, MultiObsSeries, PointError, UncertainSeries,
     };
 }

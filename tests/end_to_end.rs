@@ -114,23 +114,27 @@ fn noise_degrades_all_techniques() {
 #[test]
 fn uema_beats_euclidean_on_mixed_noise_hard_dataset() {
     // The paper's headline §5.2 finding, on the tight (hard) OliveOil
-    // analogue with the stress-test error mix.
+    // analogue with the stress-test error mix. The advantage is a claim
+    // about *averages* — single realisations can invert it from sampling
+    // noise alone — so aggregate over several deterministic workload
+    // realisations and every query in each.
     let spec = ErrorSpec::paper_mixed(ErrorFamily::Normal);
-    let task = make_task(DatasetId::OliveOil, 40, &spec, false, 4);
-    let queries: Vec<usize> = (0..15).collect();
-    let mean_f1 = |t: &Technique| {
-        queries
-            .iter()
-            .map(|&q| task.query_quality(q, t).f1)
-            .sum::<f64>()
-            / queries.len() as f64
-    };
-    let eucl = mean_f1(&Technique::Euclidean);
-    let uema = mean_f1(&Technique::Uema(Uema::default()));
-    let uma = mean_f1(&Technique::Uma(Uma::default()));
+    let (mut eucl, mut uema, mut uma) = (0.0, 0.0, 0.0);
+    let mut queries_total = 0usize;
+    for seed in 3..=7u64 {
+        let task = make_task(DatasetId::OliveOil, 40, &spec, false, seed);
+        for q in 0..40 {
+            eucl += task.query_quality(q, &Technique::Euclidean).f1;
+            uema += task.query_quality(q, &Technique::Uema(Uema::default())).f1;
+            uma += task.query_quality(q, &Technique::Uma(Uma::default())).f1;
+            queries_total += 1;
+        }
+    }
+    let n = queries_total as f64;
+    let (eucl, uema, uma) = (eucl / n, uema / n, uma / n);
     assert!(
         uema > eucl && uma > eucl,
-        "filters must beat Euclidean here: UEMA {uema}, UMA {uma}, Euclid {eucl}"
+        "filters must beat Euclidean on average here: UEMA {uema}, UMA {uma}, Euclid {eucl}"
     );
 }
 

@@ -47,7 +47,12 @@ fn invalid_parameters_rejected() {
     assert!(panics(|| PointError::new(ErrorFamily::Normal, -1.0)));
     assert!(panics(|| PointError::new(ErrorFamily::Normal, f64::NAN)));
     assert!(panics(|| ErrorSpec::constant(ErrorFamily::Uniform, -0.5)));
-    assert!(panics(|| ErrorSpec::mixed_sigma(ErrorFamily::Normal, 1.5, 1.0, 0.4)));
+    assert!(panics(|| ErrorSpec::mixed_sigma(
+        ErrorFamily::Normal,
+        1.5,
+        1.0,
+        0.4
+    )));
     assert!(panics(|| ProudConfig::with_sigma(0.0)));
     assert!(panics(|| Uema::new(2, -0.1)));
     assert!(panics(|| Dust::new(DustConfig {
@@ -242,8 +247,5 @@ fn znormalize_pathological_series() {
     // Two constant series at different levels are indistinguishable after
     // z-normalisation — distance exactly zero, not NaN.
     let t = TimeSeries::from_values([-3.0; 16]).znormalized();
-    assert_eq!(
-        uncertts::tseries::euclidean(s.values(), t.values()),
-        0.0
-    );
+    assert_eq!(uncertts::tseries::euclidean(s.values(), t.values()), 0.0);
 }

@@ -1,0 +1,130 @@
+//! Guards the facade's re-export surface: everything a downstream user
+//! reaches through `uncertts::prelude` must keep existing and keep
+//! round-tripping through its names. A refactor that breaks a re-export
+//! or renames an enum variant fails here before it fails for users.
+
+use uncertts::prelude::*;
+
+/// Every dataset id survives `name → from_name` and exposes coherent
+/// metadata through the prelude's `DatasetId`.
+#[test]
+fn dataset_ids_round_trip() {
+    let mut seen = std::collections::HashSet::new();
+    let mut count = 0usize;
+    for id in DatasetId::all() {
+        count += 1;
+        assert_eq!(
+            DatasetId::from_name(id.name()),
+            Some(id),
+            "{id}: name round-trip failed"
+        );
+        // Case-insensitive parse, as UCR spellings vary.
+        assert_eq!(
+            DatasetId::from_name(&id.name().to_ascii_uppercase()),
+            Some(id)
+        );
+        assert_eq!(format!("{id}"), id.name());
+        assert!(seen.insert(id.name()), "{id}: duplicate display name");
+        let m = id.meta();
+        assert_eq!(m.id, id);
+        assert!(m.n_series > 0 && m.length > 0 && m.n_classes > 0);
+    }
+    assert_eq!(count, 17, "the paper evaluates 17 datasets");
+    assert!(DatasetId::from_name("NoSuchDataset").is_none());
+}
+
+/// Every error family survives `name → ALL lookup` and builds specs and
+/// point errors through the prelude.
+#[test]
+fn error_families_round_trip() {
+    assert_eq!(ErrorFamily::ALL.len(), 3);
+    for fam in ErrorFamily::ALL {
+        let back = ErrorFamily::ALL
+            .iter()
+            .copied()
+            .find(|f| f.name() == fam.name())
+            .expect("name lookup");
+        assert_eq!(back, fam, "{fam}: name round-trip failed");
+        assert_eq!(format!("{fam}"), fam.name());
+        let pe = PointError::new(fam, 0.5);
+        assert_eq!(pe.family, fam);
+        let spec = ErrorSpec::constant(fam, 0.5);
+        let clean = TimeSeries::from_values((0..32).map(|i| (i as f64 / 4.0).cos()));
+        let noisy = perturb(&clean, &spec, Seed::new(1));
+        assert_eq!(noisy.len(), clean.len());
+        for e in noisy.errors() {
+            assert_eq!(e.family, fam);
+        }
+    }
+}
+
+/// One configured `Technique` per `TechniqueKind`, all constructed from
+/// prelude types only; `kind()` tags and display names stay distinct and
+/// every instance answers a matching query.
+#[test]
+fn techniques_round_trip_and_answer_queries() {
+    let techniques = vec![
+        Technique::Euclidean,
+        Technique::Munich {
+            munich: Munich::default(),
+            tau: 0.3,
+        },
+        Technique::Proud {
+            proud: Proud::default(),
+            tau: 0.3,
+        },
+        Technique::Dust(Dust::new(DustConfig::default())),
+        Technique::Uma(Uma::default()),
+        Technique::Uema(Uema::default()),
+    ];
+    let kinds: Vec<TechniqueKind> = techniques.iter().map(Technique::kind).collect();
+    let names: std::collections::HashSet<&str> = kinds.iter().map(|k| k.name()).collect();
+    assert_eq!(names.len(), techniques.len(), "kind names must be distinct");
+    for (t, k) in techniques.iter().zip(&kinds) {
+        assert_eq!(t.with_tau(0.9).kind(), *k, "{k}: with_tau changed the kind");
+        assert_eq!(format!("{k}"), k.name());
+    }
+
+    // A tiny but complete matching task exercising every technique
+    // end-to-end through the facade.
+    let seed = Seed::new(5);
+    let dataset = Catalogue::new(seed).generate_scaled(DatasetId::GunPoint, 8);
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, 0.4);
+    let uncertain: Vec<UncertainSeries> = dataset
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| perturb(s, &spec, seed.derive_u64(i as u64)))
+        .collect();
+    let multi: Vec<MultiObsSeries> = dataset
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            uncertts::uncertain::perturb_multi(s, &spec, 4, seed.derive("m").derive_u64(i as u64))
+        })
+        .collect();
+    let task = MatchingTask::new(dataset.series.clone(), uncertain, Some(multi), 3);
+    for t in &techniques {
+        let q: QualityScores = task.query_quality(0, t);
+        assert!(
+            (0.0..=1.0).contains(&q.f1) && (0.0..=1.0).contains(&q.precision),
+            "{}: bad scores {q:?}",
+            t.kind()
+        );
+    }
+}
+
+/// The quick-start path of the crate docs stays available verbatim.
+#[test]
+fn quick_start_surface() {
+    let clean = TimeSeries::from_values((0..64).map(|i| (i as f64 / 8.0).sin()));
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, 0.3);
+    let seed = Seed::new(7);
+    let noisy = perturb(&clean, &spec, seed);
+    let other = perturb(&clean, &spec, seed.derive("second"));
+    let eucl = euclidean_distance(noisy.values(), other.values());
+    let dust = Dust::new(DustConfig::default());
+    let d = dust.distance(&noisy, &other);
+    assert!(eucl >= 0.0 && d >= 0.0);
+}

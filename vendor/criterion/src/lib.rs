@@ -1,0 +1,325 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds hermetically (no crates-io access), so this
+//! vendored crate provides the criterion API subset the `uts-bench`
+//! targets use — [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! calibrated wall-clock measurement loop.
+//!
+//! Reporting: one line per benchmark on stdout
+//! (`group/id  time: [median ns] ...`), and when the `CRITERION_JSON`
+//! environment variable names a file, a JSON array of
+//! `{"id", "median_ns", "mean_ns", "iters"}` records is written there at
+//! [`Criterion::final_summary`] time (the `criterion_main!` expansion
+//! calls it). Statistical rigour is intentionally lighter than upstream —
+//! enough for trajectory tracking, not for publication.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing harness handed to benchmark closures.
+pub struct Bencher {
+    median_ns: f64,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, auto-calibrating the iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that takes
+        // roughly `SLICE` per sample.
+        const SLICE: Duration = Duration::from_millis(5);
+        const SAMPLES: usize = 11;
+        let mut n: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= SLICE || n >= 1 << 24 {
+                break;
+            }
+            n = if dt.is_zero() {
+                n * 16
+            } else {
+                (n * 16).min((n as u128 * SLICE.as_nanos() / dt.as_nanos().max(1)) as u64 + 1)
+            };
+        }
+        let mut samples = [0f64; SAMPLES];
+        let mut total = 0u64;
+        for s in &mut samples {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            *s = t0.elapsed().as_nanos() as f64 / n as f64;
+            total += n;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[SAMPLES / 2];
+        self.mean_ns = samples.iter().sum::<f64>() / SAMPLES as f64;
+        self.iters = total;
+    }
+}
+
+/// Opaque identifier to prevent the compiler from optimising a value away.
+///
+/// Re-exported for API compatibility; prefer `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark id with an optional parameter, e.g. `dust/sigma=1.2`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            full: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// Throughput annotation (recorded, displayed alongside the timing line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    median_ns: f64,
+    mean_ns: f64,
+    iters: u64,
+}
+
+/// Top-level benchmark driver (collects results for the final summary).
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Prints the run summary and honours `CRITERION_JSON`.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                let mut out = String::from("[\n");
+                for (i, r) in self.records.iter().enumerate() {
+                    let sep = if i + 1 == self.records.len() { "" } else { "," };
+                    out.push_str(&format!(
+                        "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"iters\": {}}}{}\n",
+                        r.id, r.median_ns, r.mean_ns, r.iters, sep
+                    ));
+                }
+                out.push_str("]\n");
+                if let Err(e) = std::fs::write(&path, out) {
+                    eprintln!("criterion: failed to write {path}: {e}");
+                } else {
+                    eprintln!("criterion: wrote {} records to {path}", self.records.len());
+                }
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub auto-calibrates instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub auto-calibrates instead.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.full);
+        let mut b = Bencher {
+            median_ns: 0.0,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        self.report(full, b);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.full);
+        let mut b = Bencher {
+            median_ns: 0.0,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        self.report(full, b);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&mut self, id: String, b: Bencher) {
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) if b.median_ns > 0.0 => {
+                format!("  ({:.1} Melem/s)", n as f64 / b.median_ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if b.median_ns > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / b.median_ns * 1e3 / 1.048_576)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{id:<56} time: [{} median, {} mean]{tp}",
+            fmt_ns(b.median_ns),
+            fmt_ns(b.mean_ns)
+        );
+        self.criterion.records.push(Record {
+            id,
+            median_ns: b.median_ns,
+            mean_ns: b.mean_ns,
+            iters: b.iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); the
+            // stub has no CLI surface, so they are deliberately ignored.
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| b.iter(|| (0..4u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 3), &3u64, |b, &k| {
+            b.iter(|| k * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn records_and_ids() {
+        let mut c = Criterion::default();
+        trivial(&mut c);
+        assert_eq!(c.records.len(), 2);
+        assert_eq!(c.records[0].id, "stub/sum");
+        assert_eq!(c.records[1].id, "stub/scaled/3");
+        assert!(c.records[0].median_ns >= 0.0);
+        assert!(c.records[0].iters > 0);
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with("s"));
+    }
+}

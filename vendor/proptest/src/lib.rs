@@ -1,0 +1,504 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds hermetically (no crates-io access), so this
+//! vendored crate implements the subset of the proptest API the test
+//! suites use: the [`proptest!`] macro, `prop_assert!`-family macros, the
+//! [`strategy::Strategy`] trait with range / tuple / map strategies,
+//! [`collection::vec`], [`collection::hash_set`], [`sample::select`] and
+//! [`arbitrary::any`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its deterministic case seed
+//!   instead; re-running reproduces it exactly.
+//! * **Deterministic.** Case RNGs derive from a fixed base seed plus the
+//!   test name and case index, so CI and local runs see identical inputs.
+//! * Failures panic immediately (like `assert!`) rather than flowing
+//!   through `TestCaseError`.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators the workspace uses.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for core::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for core::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`, `hash_set`).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Size specification accepted by the collection strategies: an exact
+    /// length, a half-open range, or an inclusive range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.lo..=self.hi_inclusive)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec` equivalent.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>`; best-effort when the element
+    /// domain is smaller than the requested size.
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 16 * target + 64 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// `proptest::collection::hash_set` equivalent.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies over explicit option sets.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+
+    /// Strategy yielding a uniformly chosen clone of one option.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options
+                .as_slice()
+                .choose(rng)
+                .expect("select requires at least one option")
+                .clone()
+        }
+    }
+
+    /// `proptest::sample::select` equivalent.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for the primitive types the workspace uses.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.gen::<u64>() & 1 == 1
+        }
+    }
+
+    /// Strategy over the full domain of `T`.
+    #[derive(Debug, Clone, Default)]
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `proptest::arbitrary::any` / `prelude::any` equivalent.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case loop behind the [`proptest!`](crate::proptest) macro.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration (the `cases` knob only).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the (unshrunk,
+            // deterministic) suites fast while still sweeping the space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Deterministic per-case seed: fixed base ⊕ test name ⊕ case index.
+    pub fn case_seed(name: &str, case: u32) -> u64 {
+        0x005E_ED0F_u64 ^ fnv1a(name).rotate_left(17) ^ (case as u64).wrapping_mul(0x9E37_79B9)
+    }
+
+    struct CaseReporter<'a> {
+        name: &'a str,
+        case: u32,
+        armed: bool,
+    }
+
+    impl Drop for CaseReporter<'_> {
+        fn drop(&mut self) {
+            if self.armed && std::thread::panicking() {
+                eprintln!(
+                    "proptest: property `{}` failed at case #{} (seed {:#x}); \
+                     cases are deterministic, rerun reproduces it",
+                    self.name,
+                    self.case,
+                    case_seed(self.name, self.case),
+                );
+            }
+        }
+    }
+
+    /// Runs `body` once per case with a deterministic RNG.
+    pub fn run(config: &ProptestConfig, name: &str, mut body: impl FnMut(&mut StdRng)) {
+        for case in 0..config.cases {
+            let mut rng = StdRng::seed_from_u64(case_seed(name, case));
+            let mut reporter = CaseReporter {
+                name,
+                case,
+                armed: true,
+            };
+            body(&mut rng);
+            reporter.armed = false;
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!({ $cfg } $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!({ $crate::test_runner::ProptestConfig::default() } $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ({ $cfg:expr } $($(#[$attr:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Skips the rest of the current case when the assumption fails.
+///
+/// Upstream proptest regenerates a replacement input; this stand-in
+/// simply ends the case early, which preserves soundness (no property is
+/// checked on rejected inputs) at the cost of slightly fewer effective
+/// cases.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond, "prop_assert failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
+
+pub mod prelude {
+    //! Mirror of `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod self_tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_respects_size(xs in prop::collection::vec(-1.0..1.0f64, 3..7)) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 7);
+            for x in xs {
+                prop_assert!((-1.0..1.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn tuples_and_map((a, b) in (0usize..10, 0usize..10).prop_map(|(x, y)| (x, x + y))) {
+            prop_assert!(b >= a);
+        }
+
+        #[test]
+        fn select_hits_options(v in prop::sample::select(vec![1, 2, 3])) {
+            prop_assert!(v == 1 || v == 2 || v == 3);
+        }
+
+        #[test]
+        fn hash_set_size(s in prop::collection::hash_set(0usize..100, 5..10)) {
+            prop_assert!(s.len() >= 5 && s.len() < 10);
+        }
+
+        #[test]
+        fn any_compiles(x in any::<u64>(), y in any::<i64>()) {
+            let _ = (x, y);
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::test_runner::case_seed("foo", 3);
+        let b = crate::test_runner::case_seed("foo", 3);
+        assert_eq!(a, b);
+        assert_ne!(a, crate::test_runner::case_seed("bar", 3));
+    }
+}
