@@ -43,6 +43,43 @@ pub fn bench_pair(len: usize, sigma: f64) -> (UncertainSeries, UncertainSeries) 
     )
 }
 
+/// A full seeded matching task over the bench dataset: clean series,
+/// pdf-model perturbation and a multi-observation perturbation, with
+/// ground-truth size `k` — the fixture the `query_throughput` bench runs
+/// range / top-k / DTW scans against.
+pub fn bench_task(sigma: f64, k: usize) -> uts_core::matching::MatchingTask {
+    let d = bench_dataset();
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, sigma);
+    let uncertain: Vec<UncertainSeries> = d
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            perturb(
+                s,
+                &spec,
+                Seed::new(BENCH_SEED).derive("task").derive_u64(i as u64),
+            )
+        })
+        .collect();
+    let multi: Vec<MultiObsSeries> = d
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            perturb_multi(
+                s,
+                &spec,
+                3,
+                Seed::new(BENCH_SEED)
+                    .derive("task-multi")
+                    .derive_u64(i as u64),
+            )
+        })
+        .collect();
+    uts_core::matching::MatchingTask::new(d.series, uncertain, Some(multi), k)
+}
+
 /// A pair of multi-observation series (`n` timestamps × `s` samples).
 pub fn bench_multi_pair(n: usize, s: usize, sigma: f64) -> (MultiObsSeries, MultiObsSeries) {
     let d = bench_dataset();

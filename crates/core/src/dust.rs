@@ -44,8 +44,15 @@ use std::sync::{Arc, RwLock};
 
 use uts_stats::dist::{ContinuousDistribution, Normal};
 use uts_stats::integrate::adaptive_simpson;
-use uts_tseries::dtw::{dtw_with_cost, DtwOptions};
+use uts_tseries::dtw::{DtwOptions, DtwWorkspace};
 use uts_uncertain::{ErrorFamily, PointError, UncertainSeries};
+
+/// Largest distinct-error-set size for which [`Dust::warm_tables`] warms
+/// eagerly (and [`Dust::dtw_distance_with`] hoists a full table grid).
+/// The paper's workloads carry at most a handful of (family, σ) levels;
+/// sample-estimated workloads with per-point σ blow past this and stay on
+/// lazy per-pair resolution.
+pub const MAX_WARM_ERRORS: usize = 16;
 
 /// DUST configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -202,14 +209,41 @@ impl Dust {
     /// # Panics
     /// If the series lengths differ.
     pub fn distance(&self, x: &UncertainSeries, y: &UncertainSeries) -> f64 {
+        self.distance_sq_early_abandon(x, y, f64::INFINITY)
+            .expect("no abandonment at an infinite limit")
+            .sqrt()
+    }
+
+    /// Squared DUST distance with early abandonment: `Some(Σ dust²)` when
+    /// the running sum never exceeds `limit`, `None` as soon as it does.
+    ///
+    /// The accumulation is the exact loop [`Dust::distance`] runs (same
+    /// term order, same table lookups), so `Some(s)` implies
+    /// `Dust::distance(x, y) == s.sqrt()` bit-for-bit — the property the
+    /// batched query engine's ε²-pruned range scans rely on.
+    ///
+    /// # Panics
+    /// If the series lengths differ.
+    pub fn distance_sq_early_abandon(
+        &self,
+        x: &UncertainSeries,
+        y: &UncertainSeries,
+        limit: f64,
+    ) -> Option<f64> {
         assert_eq!(x.len(), y.len(), "DUST requires equal-length series");
         if self.config.exact_evaluation {
             let mut acc = 0.0;
             for i in 0..x.len() {
-                let delta = x.value_at(i) - y.value_at(i);
+                // |Δ|, exactly as `dust_squared` and the table grid take
+                // it — keeps exact mode symmetric and consistent with
+                // table mode for the sign-asymmetric error kernels.
+                let delta = (x.value_at(i) - y.value_at(i)).abs();
                 acc += dust_sq_exact(&self.config, x.error_at(i), y.error_at(i), delta);
+                if acc > limit {
+                    return None;
+                }
             }
-            return acc.sqrt();
+            return Some(acc);
         }
         let mut acc = 0.0;
         let mut memo: Option<(TableKey, Arc<DustTable>)> = None;
@@ -229,8 +263,11 @@ impl Dust {
                 Some(v) => v,
                 None => dust_sq_exact(&self.config, ex, ey, delta),
             };
+            if acc > limit {
+                return None;
+            }
         }
-        acc.sqrt()
+        Some(acc)
     }
 
     /// Fetches (building if necessary) the table for an error pair.
@@ -250,16 +287,101 @@ impl Dust {
     /// DUST as the local cost of Dynamic Time Warping (paper §3.2: DUST
     /// "can be employed to compute the Dynamic Time Warping distance").
     pub fn dtw_distance(&self, x: &UncertainSeries, y: &UncertainSeries, opts: DtwOptions) -> f64 {
-        dtw_with_cost(
-            x.len(),
-            y.len(),
-            |i, j| {
-                let delta = x.value_at(i) - y.value_at(j);
-                self.dust_squared(x.error_at(i), y.error_at(j), delta)
-            },
-            opts,
-        )
-        .sqrt()
+        self.dtw_distance_with(x, y, opts, &mut DtwWorkspace::new())
+    }
+
+    /// [`Dust::dtw_distance`] with a caller-provided scratch workspace —
+    /// allocation-free in steady state when the same workspace serves a
+    /// whole candidate scan.
+    ///
+    /// Table resolution is hoisted out of the `O(n·m)` cell loop: the
+    /// distinct error pairs of the two series (one or two per series in
+    /// the paper's workloads) are resolved once up front, and each cell
+    /// indexes the prepared grid instead of hashing into the shared cache.
+    pub fn dtw_distance_with(
+        &self,
+        x: &UncertainSeries,
+        y: &UncertainSeries,
+        opts: DtwOptions,
+        workspace: &mut DtwWorkspace,
+    ) -> f64 {
+        if self.config.exact_evaluation {
+            return workspace
+                .accumulated_cost(
+                    x.len(),
+                    y.len(),
+                    |i, j| {
+                        let delta = (x.value_at(i) - y.value_at(j)).abs();
+                        dust_sq_exact(&self.config, x.error_at(i), y.error_at(j), delta)
+                    },
+                    opts,
+                )
+                .sqrt();
+        }
+        let (x_ids, x_errs) = distinct_errors(x);
+        let (y_ids, y_errs) = distinct_errors(y);
+        // Hoist eagerly only while each side's distinct-error list stays
+        // within the `warm_tables` cap: with per-point σ estimates the
+        // "grid" would be len × len eager table builds per pair, most of
+        // them for band-excluded cells — resolve per cell instead.
+        if x_errs.len().max(y_errs.len()) > MAX_WARM_ERRORS {
+            return workspace
+                .accumulated_cost(
+                    x.len(),
+                    y.len(),
+                    |i, j| {
+                        let delta = (x.value_at(i) - y.value_at(j)).abs();
+                        self.dust_squared(x.error_at(i), y.error_at(j), delta)
+                    },
+                    opts,
+                )
+                .sqrt();
+        }
+        let tables: Vec<Vec<Arc<DustTable>>> = x_errs
+            .iter()
+            .map(|&ex| {
+                y_errs
+                    .iter()
+                    .map(|&ey| self.resolve_table(TableKey::new(ex, ey), ex, ey))
+                    .collect()
+            })
+            .collect();
+        workspace
+            .accumulated_cost(
+                x.len(),
+                y.len(),
+                |i, j| {
+                    let delta = (x.value_at(i) - y.value_at(j)).abs();
+                    match tables[x_ids[i]][y_ids[j]].lookup(delta) {
+                        Some(v) => v,
+                        None => dust_sq_exact(&self.config, x.error_at(i), y.error_at(j), delta),
+                    }
+                },
+                opts,
+            )
+            .sqrt()
+    }
+
+    /// Pre-resolves the lookup tables for every ordered pair of the given
+    /// error descriptions — the batched engine's per-collection warm-up,
+    /// so no query ever pays a table *build* inside its candidate scan.
+    ///
+    /// No-op under [`DustConfig::exact_evaluation`], and skipped entirely
+    /// when the error set is large (> [`MAX_WARM_ERRORS`] distinct
+    /// descriptions): eager warming is quadratic in distinct errors, and
+    /// a sample-estimated workload where every *point* carries its own σ
+    /// would build millions of tables that mostly never co-occur in an
+    /// aligned comparison. Such workloads keep the lazy per-pair builds
+    /// of the scan itself, exactly as the naive path does.
+    pub fn warm_tables(&self, errors: &[PointError]) {
+        if self.config.exact_evaluation || errors.len() > MAX_WARM_ERRORS {
+            return;
+        }
+        for &ex in errors {
+            for &ey in errors {
+                let _ = self.resolve_table(TableKey::new(ex, ey), ex, ey);
+            }
+        }
     }
 
     fn build_table(&self, ex: PointError, ey: PointError) -> DustTable {
@@ -270,6 +392,33 @@ impl Dust {
             .collect();
         DustTable { values, step }
     }
+}
+
+/// Bit-exact identity of two error descriptions — the same equivalence
+/// the table cache keys on ([`TableKey`]), shared by every dedup that
+/// decides whether two points can reuse one table.
+pub(crate) fn same_error(a: &PointError, b: &PointError) -> bool {
+    a.family == b.family && a.sigma.to_bits() == b.sigma.to_bits()
+}
+
+/// Deduplicates a series' per-point errors: returns, per point, an index
+/// into the (small) list of distinct error descriptions. The paper's
+/// workloads use one or two σ levels, so the list length is effectively
+/// constant while the series runs to hundreds of points.
+fn distinct_errors(s: &UncertainSeries) -> (Vec<usize>, Vec<PointError>) {
+    let mut distinct: Vec<PointError> = Vec::new();
+    let ids = s
+        .errors()
+        .iter()
+        .map(|e| match distinct.iter().position(|d| same_error(d, e)) {
+            Some(i) => i,
+            None => {
+                distinct.push(*e);
+                distinct.len() - 1
+            }
+        })
+        .collect();
+    (ids, distinct)
 }
 
 /// Exact `dust²` evaluation (no table): `ln φ(0) − ln φ(Δ)`, clamped at 0.
@@ -643,6 +792,101 @@ mod unit {
         let got = dust.dust_squared(e, e, 5.0);
         let want = 25.0 / (2.0 * (2.0 * 0.25));
         assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+    }
+
+    #[test]
+    fn hoisted_dtw_matches_per_point_resolution() {
+        // Mixed error pairs across the two series: the hoisted table grid
+        // must reproduce the per-cell `dust_squared` path bit-for-bit.
+        let mk_errs = |seed: usize| -> Vec<PointError> {
+            (0..7)
+                .map(|i| {
+                    let fam = ErrorFamily::ALL[(i + seed) % 3];
+                    pe(fam, 0.3 + 0.2 * ((i + seed) % 4) as f64)
+                })
+                .collect()
+        };
+        let x = UncertainSeries::new(vec![0.0, 1.0, -0.5, 2.0, 0.3, -1.1, 0.8], mk_errs(0));
+        let y = UncertainSeries::new(vec![1.0, 1.0, 0.5, 0.0, -0.2, 0.4, 1.3], mk_errs(1));
+        let dust = Dust::default();
+        for opts in [
+            DtwOptions::default(),
+            DtwOptions::with_band(0),
+            DtwOptions::with_band(2),
+        ] {
+            let hoisted = dust.dtw_distance(&x, &y, opts);
+            // Reference: the pre-hoist formulation — per-cell table
+            // resolution through `dust_squared`.
+            let reference = uts_tseries::dtw::dtw_with_cost(
+                x.len(),
+                y.len(),
+                |i, j| {
+                    let delta = x.value_at(i) - y.value_at(j);
+                    dust.dust_squared(x.error_at(i), y.error_at(j), delta)
+                },
+                opts,
+            )
+            .sqrt();
+            assert_eq!(hoisted, reference, "opts {opts:?}");
+        }
+    }
+
+    #[test]
+    fn hoisted_dtw_tracks_dust_sq_exact() {
+        // Against the ground-truth kernel (exact evaluation, no tables):
+        // the table-served DTW agrees to table-interpolation accuracy.
+        let errs = [pe(ErrorFamily::Normal, 0.4), pe(ErrorFamily::Uniform, 0.7)];
+        let e: Vec<PointError> = (0..6).map(|i| errs[i % 2]).collect();
+        let x = UncertainSeries::new(vec![0.0, 0.6, -0.5, 1.2, 0.3, -0.9], e.clone());
+        let y = UncertainSeries::new(vec![0.4, 0.2, 0.5, 0.0, -0.6, 0.1], e);
+        let table = Dust::default();
+        let exact = Dust::new(DustConfig {
+            exact_evaluation: true,
+            ..DustConfig::default()
+        });
+        let a = table.dtw_distance(&x, &y, DtwOptions::with_band(2));
+        let b = exact.dtw_distance(&x, &y, DtwOptions::with_band(2));
+        assert!((a - b).abs() < 2e-3 * (1.0 + b), "table {a} vs exact {b}");
+    }
+
+    #[test]
+    fn early_abandon_matches_full_distance() {
+        let errs: Vec<PointError> = (0..8)
+            .map(|i| pe(ErrorFamily::ALL[i % 3], 0.3 + 0.1 * (i % 3) as f64))
+            .collect();
+        let x = UncertainSeries::new(vec![0.0, 1.0, -0.5, 2.0, 0.3, -1.1, 0.8, 0.2], errs.clone());
+        let y = UncertainSeries::new(vec![1.0, 1.0, 0.5, 0.0, -0.2, 0.4, 1.3, -0.7], errs);
+        for dust in [
+            Dust::default(),
+            Dust::new(DustConfig {
+                exact_evaluation: true,
+                ..DustConfig::default()
+            }),
+        ] {
+            let d = dust.distance(&x, &y);
+            let sq = dust
+                .distance_sq_early_abandon(&x, &y, f64::INFINITY)
+                .expect("infinite limit");
+            assert_eq!(sq.sqrt(), d, "full sum must match distance bits");
+            // At the sum: kept. Just below: abandoned.
+            assert_eq!(dust.distance_sq_early_abandon(&x, &y, sq), Some(sq));
+            assert_eq!(dust.distance_sq_early_abandon(&x, &y, sq.next_down()), None);
+        }
+    }
+
+    #[test]
+    fn warm_tables_builds_all_ordered_pairs() {
+        let dust = Dust::default();
+        let errs = [pe(ErrorFamily::Normal, 0.4), pe(ErrorFamily::Uniform, 1.0)];
+        dust.warm_tables(&errs);
+        assert_eq!(dust.cached_tables(), 4);
+        // Exact mode never builds tables.
+        let exact = Dust::new(DustConfig {
+            exact_evaluation: true,
+            ..DustConfig::default()
+        });
+        exact.warm_tables(&errs);
+        assert_eq!(exact.cached_tables(), 0);
     }
 
     #[test]

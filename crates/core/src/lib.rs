@@ -28,6 +28,12 @@
 //! task: ground truth from the clean series' 10 nearest neighbours,
 //! per-technique equivalent thresholds calibrated through the 10th NN, τ
 //! grid optimisation, and precision/recall/F1 scoring.
+//!
+//! [`engine`] is the batched query layer those protocols run on:
+//! per-collection preparation (filter caches, DUST table warm-up, MBI and
+//! LB_Keogh envelopes) split from per-query evaluation with early
+//! abandonment and lower-bound pruning, bit-identical to the naive
+//! `*_naive` reference paths.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -40,6 +46,7 @@ compile_error!(
 
 pub mod classify;
 pub mod dust;
+pub mod engine;
 pub mod euclidean;
 pub mod matching;
 pub mod munich;
@@ -50,9 +57,10 @@ pub mod uma;
 
 pub use classify::{knn_loocv, one_nn_loocv, ClassificationOutcome};
 pub use dust::{Dust, DustConfig};
+pub use engine::QueryEngine;
 pub use euclidean::euclidean_distance;
 pub use matching::{MatchingTask, QualityScores, TechniqueKind};
-pub use munich::{Munich, MunichConfig, MunichStrategy};
+pub use munich::{MbiEnvelope, Munich, MunichConfig, MunichStrategy};
 pub use proud::{MomentModel, Proud, ProudConfig};
 pub use proud_stream::ProudStream;
 pub use query::{ProbabilisticRangeQuery, RangeQuery, TopK, TopKMotifs};

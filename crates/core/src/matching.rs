@@ -275,7 +275,19 @@ impl MatchingTask {
 
     /// Ground truth for query `q`: its `k` nearest clean neighbours
     /// (self excluded) and the threshold anchor `c`.
+    ///
+    /// Served by the engine's early-abandoned selection scan; identical
+    /// to [`MatchingTask::ground_truth_naive`] (asserted by the
+    /// equivalence suite).
     pub fn ground_truth(&self, q: usize) -> GroundTruth {
+        assert!(q < self.len(), "query index out of range");
+        crate::engine::clean_ground_truth(&self.clean, q, self.k)
+    }
+
+    /// Reference implementation of [`MatchingTask::ground_truth`]: full
+    /// distance pass plus a stable sort. Kept as the naive baseline the
+    /// engine is tested against (and benchmarked in `query_throughput`).
+    pub fn ground_truth_naive(&self, q: usize) -> GroundTruth {
         assert!(q < self.len(), "query index out of range");
         let qs = self.clean[q].values();
         let mut dists: Vec<(usize, f64)> = (0..self.len())
@@ -321,10 +333,23 @@ impl MatchingTask {
     /// within `epsilon` of query `q` (self excluded), as a sorted index
     /// vector.
     ///
+    /// One-shot convenience over [`crate::engine::QueryEngine`]: prepares
+    /// the engine and answers a single query. Batch callers should
+    /// prepare once and reuse — see [`MatchingTask::evaluate_queries`]
+    /// and the experiment runner.
+    ///
     /// # Panics
     /// For `Technique::Munich` when the task holds no multi-observation
     /// data.
     pub fn answer_set(&self, q: usize, technique: &Technique, epsilon: f64) -> Vec<usize> {
+        crate::engine::QueryEngine::prepare(self, technique).answer_set(q, epsilon)
+    }
+
+    /// Reference implementation of [`MatchingTask::answer_set`]: the
+    /// per-query candidate scan with no precomputation, no early
+    /// abandonment and no pruning. Kept as the naive baseline the engine
+    /// is tested against.
+    pub fn answer_set_naive(&self, q: usize, technique: &Technique, epsilon: f64) -> Vec<usize> {
         assert!(q < self.len(), "query index out of range");
         let qu = &self.uncertain[q];
         let mut out = Vec::new();
@@ -393,7 +418,28 @@ impl MatchingTask {
     /// test is `Φ(ε_norm) ≥ τ` by monotonicity of Φ), so τ sweeps can
     /// reuse one probability pass — the optimisation the harness's
     /// optimal-τ search relies on.
+    ///
+    /// One-shot convenience over [`crate::engine::QueryEngine`] (MUNICH's
+    /// MBI filter runs from precomputed envelopes).
     pub fn probabilities(
+        &self,
+        q: usize,
+        technique: &Technique,
+        epsilon: f64,
+    ) -> Option<Vec<(usize, f64)>> {
+        assert!(q < self.len(), "query index out of range");
+        match technique {
+            Technique::Munich { .. } | Technique::Proud { .. } => {
+                crate::engine::QueryEngine::prepare(self, technique).probabilities(q, epsilon)
+            }
+            _ => None,
+        }
+    }
+
+    /// Reference implementation of [`MatchingTask::probabilities`] with
+    /// per-pair MBI recomputation. Kept as the naive baseline the engine
+    /// is tested against.
+    pub fn probabilities_naive(
         &self,
         q: usize,
         technique: &Technique,
@@ -424,6 +470,79 @@ impl MatchingTask {
         }
     }
 
+    /// Top-k nearest neighbours of query `q` under the technique's
+    /// distance (self excluded), `(index, distance)` sorted ascending by
+    /// distance then index; `None` for the probabilistic techniques.
+    ///
+    /// One-shot convenience over [`crate::engine::QueryEngine`]
+    /// (early-abandoned selection scan).
+    pub fn top_k(&self, q: usize, technique: &Technique, k: usize) -> Option<Vec<(usize, f64)>> {
+        assert!(q < self.len(), "query index out of range");
+        assert!(k > 0, "k must be positive");
+        // The probabilistic techniques have no distance ranking: answer
+        // `None` without preparing (MUNICH preparation would demand
+        // multi-observation data and build every envelope for nothing).
+        if matches!(
+            technique,
+            Technique::Proud { .. } | Technique::Munich { .. }
+        ) {
+            return None;
+        }
+        crate::engine::QueryEngine::prepare(self, technique).top_k(q, k)
+    }
+
+    /// Reference implementation of [`MatchingTask::top_k`]: full distance
+    /// pass plus a sort. Kept as the naive baseline the engine is tested
+    /// against.
+    pub fn top_k_naive(
+        &self,
+        q: usize,
+        technique: &Technique,
+        k: usize,
+    ) -> Option<Vec<(usize, f64)>> {
+        assert!(q < self.len(), "query index out of range");
+        assert!(k > 0, "k must be positive");
+        let qu = &self.uncertain[q];
+        let mut dists: Vec<(usize, f64)> = match technique {
+            Technique::Euclidean => (0..self.len())
+                .filter(|&i| i != q)
+                .map(|i| (i, euclidean(qu.values(), self.uncertain[i].values())))
+                .collect(),
+            Technique::Dust(d) => (0..self.len())
+                .filter(|&i| i != q)
+                .map(|i| (i, d.distance(qu, &self.uncertain[i])))
+                .collect(),
+            Technique::Uma(u) => {
+                let fq = u.filter(qu);
+                (0..self.len())
+                    .filter(|&i| i != q)
+                    .map(|i| {
+                        let fi = u.filter(&self.uncertain[i]);
+                        (i, euclidean(fq.values(), fi.values()))
+                    })
+                    .collect()
+            }
+            Technique::Uema(u) => {
+                let fq = u.filter(qu);
+                (0..self.len())
+                    .filter(|&i| i != q)
+                    .map(|i| {
+                        let fi = u.filter(&self.uncertain[i]);
+                        (i, euclidean(fq.values(), fi.values()))
+                    })
+                    .collect()
+            }
+            Technique::Proud { .. } | Technique::Munich { .. } => return None,
+        };
+        dists.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite distances")
+                .then(a.0.cmp(&b.0))
+        });
+        dists.truncate(k);
+        Some(dists)
+    }
+
     /// Full §4.1.2 protocol for one query: calibrate, answer, score.
     pub fn query_quality(&self, q: usize, technique: &Technique) -> QualityScores {
         let gt = self.ground_truth(q);
@@ -434,11 +553,14 @@ impl MatchingTask {
 
     /// Protocol over a set of queries; returns per-query scores in the
     /// order given.
+    ///
+    /// Prepares one [`crate::engine::QueryEngine`] and shares it across
+    /// all queries, so the per-collection work (UMA/UEMA filtering, DUST
+    /// table warm-up, MUNICH envelopes) is paid once instead of once per
+    /// query.
     pub fn evaluate_queries(&self, queries: &[usize], technique: &Technique) -> Vec<QualityScores> {
-        queries
-            .iter()
-            .map(|&q| self.query_quality(q, technique))
-            .collect()
+        let engine = crate::engine::QueryEngine::prepare(self, technique);
+        engine.evaluate_queries(queries)
     }
 
     /// Grid search for the optimal probability threshold τ of MUNICH or

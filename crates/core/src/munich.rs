@@ -160,6 +160,17 @@ impl Munich {
             }
         }
 
+        self.refine_bounds(x, y, eps_sq)
+    }
+
+    /// The sample-level refinement step of [`Munich::probability_bounds`]
+    /// — everything after the MBI filter has failed to decide the pair.
+    fn refine_bounds(
+        &self,
+        x: &MultiObsSeries,
+        y: &MultiObsSeries,
+        eps_sq: f64,
+    ) -> ProbabilityBounds {
         match self.config.strategy {
             MunichStrategy::Exact => self.exact_or_convolve(x, y, eps_sq),
             MunichStrategy::Convolution { bins } => {
@@ -175,6 +186,38 @@ impl Munich {
     /// Point estimate of `Pr(distance(X, Y) ≤ ε)`.
     pub fn probability_within(&self, x: &MultiObsSeries, y: &MultiObsSeries, epsilon: f64) -> f64 {
         self.probability_bounds(x, y, epsilon).estimate()
+    }
+
+    /// [`Munich::probability_within`] with precomputed MBI envelopes for
+    /// the pair: the filter step reads the envelopes instead of
+    /// re-scanning both series' sample rows, short-circuiting certain 0/1
+    /// answers. Undecided pairs go straight to the sample-level
+    /// refinement — the pairwise filter is *not* re-run (the envelope
+    /// bounds are bit-identical to it, so it could never fire).
+    /// Bit-identical to the pairwise path for the series the envelopes
+    /// were built from.
+    pub fn probability_within_enveloped(
+        &self,
+        x: &MultiObsSeries,
+        y: &MultiObsSeries,
+        epsilon: f64,
+        env_x: &MbiEnvelope,
+        env_y: &MbiEnvelope,
+    ) -> f64 {
+        assert_eq!(x.len(), y.len(), "MUNICH requires equal-length series");
+        assert!(!x.is_empty(), "MUNICH requires non-empty series");
+        assert!(epsilon >= 0.0, "distance threshold must be non-negative");
+        let eps_sq = epsilon * epsilon;
+        if self.config.use_mbi_filter {
+            let (lb_sq, ub_sq) = interval_distance_sq_bounds_enveloped(env_x, env_y);
+            if ub_sq <= eps_sq {
+                return 1.0;
+            }
+            if lb_sq > eps_sq {
+                return 0.0;
+            }
+        }
+        self.refine_bounds(x, y, eps_sq).estimate()
     }
 
     /// PRQ membership: `Pr(distance ≤ ε) ≥ τ` (paper Eq. 2), decided on
@@ -302,6 +345,61 @@ fn interval_distance_sq_bounds(x: &MultiObsSeries, y: &MultiObsSeries) -> (f64, 
         let (xl, xh) = x.mbi(i);
         let (yl, yh) = y.mbi(i);
         let (lo, hi) = interval_pair_sq_range(xl, xh, yl, yh);
+        lb += lo;
+        ub += hi;
+    }
+    (lb, ub)
+}
+
+/// Precomputed per-timestamp minimal bounding intervals of one
+/// multi-observation series.
+///
+/// MUNICH's filter step ("summarizing the repeated samples using minimal
+/// bounding intervals") recomputes every row's min/max for *both* sides
+/// of every candidate pair; building the envelope once per collection
+/// member turns that `O(n·s)` per-pair cost into a one-time preparation
+/// cost — the batched engine's per-collection state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MbiEnvelope {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl MbiEnvelope {
+    /// Builds the envelope of a series (same per-row min/max as
+    /// [`MultiObsSeries::mbi`], so downstream bounds are bit-identical to
+    /// the pairwise path).
+    pub fn build(m: &MultiObsSeries) -> Self {
+        let mut lo = Vec::with_capacity(m.len());
+        let mut hi = Vec::with_capacity(m.len());
+        for i in 0..m.len() {
+            let (l, h) = m.mbi(i);
+            lo.push(l);
+            hi.push(h);
+        }
+        Self { lo, hi }
+    }
+
+    /// Number of timestamps covered.
+    pub fn len(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Whether the envelope covers no timestamps.
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_empty()
+    }
+}
+
+/// MBI bounds on the squared Euclidean distance from precomputed
+/// envelopes — bit-identical to the internal pairwise computation for the
+/// series the envelopes were built from.
+pub fn interval_distance_sq_bounds_enveloped(x: &MbiEnvelope, y: &MbiEnvelope) -> (f64, f64) {
+    debug_assert_eq!(x.len(), y.len(), "envelope length mismatch");
+    let mut lb = 0.0;
+    let mut ub = 0.0;
+    for i in 0..x.len() {
+        let (lo, hi) = interval_pair_sq_range(x.lo[i], x.hi[i], y.lo[i], y.hi[i]);
         lb += lo;
         ub += hi;
     }

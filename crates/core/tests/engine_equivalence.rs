@@ -1,0 +1,275 @@
+//! Engine-vs-naive equivalence suite: for every [`Technique`], the
+//! batched [`QueryEngine`] must return *bit-identical* answer sets,
+//! top-k results and probabilities to the naive `*_naive` reference
+//! paths on [`MatchingTask`], across several seeded workloads.
+//!
+//! This is the contract that lets every figure reproduction run on the
+//! fast path: the early-abandon kernels replay the naive accumulation
+//! order and the squared cutoffs are exact under IEEE rounding, so the
+//! speedups never move a result. Any divergence — one index, one ulp —
+//! fails here.
+
+use uts_core::dust::Dust;
+use uts_core::engine::QueryEngine;
+use uts_core::matching::{MatchingTask, QualityScores, Technique};
+use uts_core::munich::Munich;
+use uts_core::proud::{Proud, ProudConfig};
+use uts_core::uma::{Uema, Uma};
+use uts_stats::rng::Seed;
+use uts_tseries::TimeSeries;
+use uts_uncertain::{
+    perturb, perturb_multi, ErrorFamily, ErrorSpec, MultiObsSeries, UncertainSeries,
+};
+
+/// One seeded workload: a clean collection, its pdf-model perturbation
+/// and a multi-observation perturbation, wrapped in a `MatchingTask`.
+struct Workload {
+    name: &'static str,
+    seed: u64,
+    n: usize,
+    len: usize,
+    sigma: f64,
+    family: ErrorFamily,
+    k: usize,
+}
+
+/// Three deliberately different workloads: size, length, error level and
+/// error family all vary, so the fast paths are exercised with dense and
+/// sparse answer sets and with every DUST table family.
+const WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "small-normal",
+        seed: 0xA11CE,
+        n: 12,
+        len: 24,
+        sigma: 0.3,
+        family: ErrorFamily::Normal,
+        k: 3,
+    },
+    Workload {
+        name: "mid-uniform",
+        seed: 0xB0B,
+        n: 14,
+        len: 30,
+        sigma: 0.8,
+        family: ErrorFamily::Uniform,
+        k: 5,
+    },
+    Workload {
+        name: "noisy-exponential",
+        seed: 0xC4B,
+        n: 11,
+        len: 18,
+        sigma: 1.4,
+        family: ErrorFamily::Exponential,
+        k: 4,
+    },
+];
+
+fn build(w: &Workload) -> MatchingTask {
+    let root = Seed::new(w.seed);
+    let clean: Vec<TimeSeries> = (0..w.n)
+        .map(|i| {
+            TimeSeries::from_values((0..w.len).map(|t| {
+                let t = t as f64;
+                (t / 3.5 + i as f64 * 0.4).sin() + 0.3 * (t / 9.0 + i as f64).cos()
+            }))
+            .znormalized()
+        })
+        .collect();
+    let spec = ErrorSpec::constant(w.family, w.sigma);
+    let uncertain: Vec<UncertainSeries> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, c)| perturb(c, &spec, root.derive("pdf").derive_u64(i as u64)))
+        .collect();
+    let multi: Vec<MultiObsSeries> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, c)| perturb_multi(c, &spec, 3, root.derive("multi").derive_u64(i as u64)))
+        .collect();
+    MatchingTask::new(clean, uncertain, Some(multi), w.k)
+}
+
+/// Query subsample exercised per workload: first, middle, last — keeps
+/// the suite inside the tier-1 budget while still probing both ends of
+/// the index range (the early-abandon limits evolve along the scan).
+fn probe_queries(task: &MatchingTask) -> [usize; 3] {
+    [0, task.len() / 2, task.len() - 1]
+}
+
+fn techniques(sigma: f64) -> Vec<Technique> {
+    vec![
+        Technique::Euclidean,
+        Technique::Dust(Dust::default()),
+        Technique::Uma(Uma::default()),
+        Technique::Uema(Uema::default()),
+        Technique::Proud {
+            proud: Proud::new(ProudConfig::with_sigma(sigma)),
+            tau: 0.4,
+        },
+        Technique::Munich {
+            munich: Munich::default(),
+            tau: 0.4,
+        },
+    ]
+}
+
+/// Range answer sets: engine vs naive, every query, at the calibrated
+/// threshold and at scaled thresholds (sparse and dense answer sets).
+#[test]
+fn answer_sets_bit_identical_across_workloads() {
+    for w in WORKLOADS {
+        let task = build(w);
+        for technique in techniques(w.sigma) {
+            let engine = QueryEngine::prepare(&task, &technique);
+            for q in probe_queries(&task) {
+                let eps = task.calibrated_threshold(q, &technique);
+                for scale in [0.5, 1.0, 2.0] {
+                    let e = eps * scale;
+                    assert_eq!(
+                        engine.answer_set(q, e),
+                        task.answer_set_naive(q, &technique, e),
+                        "{} / {} q={q} eps={e}",
+                        w.name,
+                        technique.kind()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Top-k: identical indices *and* bit-identical distances for the
+/// distance techniques; `None` from both paths for the probabilistic
+/// ones.
+#[test]
+fn top_k_bit_identical_across_workloads() {
+    for w in WORKLOADS {
+        let task = build(w);
+        for technique in techniques(w.sigma) {
+            let engine = QueryEngine::prepare(&task, &technique);
+            for q in probe_queries(&task) {
+                for k in [1, w.k, task.len() - 1] {
+                    let fast = engine.top_k(q, k);
+                    let naive = task.top_k_naive(q, &technique, k);
+                    match (&fast, &naive) {
+                        (Some(f), Some(nv)) => {
+                            assert_eq!(f.len(), nv.len());
+                            for (a, b) in f.iter().zip(nv) {
+                                assert_eq!(
+                                    a.0,
+                                    b.0,
+                                    "{} / {} q={q} k={k}",
+                                    w.name,
+                                    technique.kind()
+                                );
+                                assert_eq!(
+                                    a.1.to_bits(),
+                                    b.1.to_bits(),
+                                    "{} / {} q={q} k={k}: {} vs {}",
+                                    w.name,
+                                    technique.kind(),
+                                    a.1,
+                                    b.1
+                                );
+                            }
+                        }
+                        (None, None) => {}
+                        _ => panic!(
+                            "{} / {} q={q} k={k}: engine {fast:?} vs naive {naive:?}",
+                            w.name,
+                            technique.kind()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Probabilities: PROUD and MUNICH per-candidate probabilities are
+/// bit-identical (MUNICH's precomputed MBI envelopes must not move the
+/// filter decision); distance techniques return `None` on both paths.
+#[test]
+fn probabilities_bit_identical_across_workloads() {
+    for w in WORKLOADS {
+        let task = build(w);
+        for technique in techniques(w.sigma) {
+            let engine = QueryEngine::prepare(&task, &technique);
+            for q in probe_queries(&task) {
+                let eps = task.calibrated_threshold(q, &technique);
+                let fast = engine.probabilities(q, eps);
+                let naive = task.probabilities_naive(q, &technique, eps);
+                match (&fast, &naive) {
+                    (Some(f), Some(nv)) => {
+                        assert_eq!(f.len(), nv.len());
+                        for (a, b) in f.iter().zip(nv) {
+                            assert_eq!(a.0, b.0, "{} / {} q={q}", w.name, technique.kind());
+                            assert_eq!(
+                                a.1.to_bits(),
+                                b.1.to_bits(),
+                                "{} / {} q={q} cand={}: {} vs {}",
+                                w.name,
+                                technique.kind(),
+                                a.0,
+                                a.1,
+                                b.1
+                            );
+                        }
+                    }
+                    (None, None) => {}
+                    _ => panic!(
+                        "{} / {} q={q}: engine {fast:?} vs naive {naive:?}",
+                        w.name,
+                        technique.kind()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Ground truth (early-abandoned selection scan) matches the naive full
+/// pass + sort, including the anchor and its clean distance.
+#[test]
+fn ground_truth_bit_identical_across_workloads() {
+    for w in WORKLOADS {
+        let task = build(w);
+        for q in 0..task.len() {
+            let fast = task.ground_truth(q);
+            let naive = task.ground_truth_naive(q);
+            assert_eq!(fast.neighbors, naive.neighbors, "{} q={q}", w.name);
+            assert_eq!(fast.anchor, naive.anchor, "{} q={q}", w.name);
+            assert_eq!(
+                fast.clean_distance.to_bits(),
+                naive.clean_distance.to_bits(),
+                "{} q={q}",
+                w.name
+            );
+        }
+    }
+}
+
+/// The full §4.1.2 protocol through the shared engine equals the naive
+/// per-query pipeline (ground truth → calibrate → answer → score).
+#[test]
+fn evaluate_queries_matches_naive_protocol() {
+    for w in WORKLOADS {
+        let task = build(w);
+        let queries: Vec<usize> = probe_queries(&task).to_vec();
+        for technique in techniques(w.sigma) {
+            let fast = task.evaluate_queries(&queries, &technique);
+            let naive: Vec<QualityScores> = queries
+                .iter()
+                .map(|&q| {
+                    let gt = task.ground_truth_naive(q);
+                    let eps = task.threshold_against(q, gt.anchor, &technique);
+                    let answer = task.answer_set_naive(q, &technique, eps);
+                    QualityScores::from_sets(&answer, &gt.neighbors)
+                })
+                .collect();
+            assert_eq!(fast, naive, "{} / {}", w.name, technique.kind());
+        }
+    }
+}

@@ -42,6 +42,103 @@ pub fn euclidean(x: &[f64], y: &[f64]) -> f64 {
     euclidean_squared(x, y).sqrt()
 }
 
+/// Squared Euclidean distance with early abandonment: returns
+/// `Some(Σ (xᵢ − yᵢ)²)` when the sum never exceeds `limit`, and `None` as
+/// soon as the running sum does — without finishing the pass.
+///
+/// The accumulation order is identical to [`euclidean_squared`], and the
+/// running sum of non-negative terms is monotone under IEEE rounding, so
+/// the outcome is *exactly* equivalent to computing the full sum and
+/// comparing it against `limit` afterwards: `Some(s)` ⟺
+/// `euclidean_squared(x, y) = s ≤ limit`. Combine with [`squared_cutoff`]
+/// to get bit-exact `euclidean(x, y) <= eps` decisions from squared sums.
+///
+/// The limit is tested once per 8-element chunk, not per element: the
+/// running sum is monotone, so coarser checks abandon at the same
+/// candidates while keeping the inner loop branch-free.
+///
+/// # Panics
+/// If the slices have different lengths.
+pub fn euclidean_squared_early_abandon(x: &[f64], y: &[f64], limit: f64) -> Option<f64> {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "euclidean distance requires equal lengths ({} vs {})",
+        x.len(),
+        y.len()
+    );
+    let mut acc = 0.0;
+    let mut xc = x.chunks_exact(8);
+    let mut yc = y.chunks_exact(8);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        for (a, b) in xs.iter().zip(ys) {
+            let d = a - b;
+            acc += d * d;
+        }
+        if acc > limit {
+            return None;
+        }
+    }
+    for (a, b) in xc.remainder().iter().zip(yc.remainder()) {
+        let d = a - b;
+        acc += d * d;
+    }
+    if acc > limit {
+        return None;
+    }
+    Some(acc)
+}
+
+/// The largest squared sum `s` with `s.sqrt() <= limit` under IEEE
+/// round-to-nearest — the abandon threshold that makes
+/// `sum ≤ squared_cutoff(eps)` *bit-exactly* equivalent to the naive
+/// `sum.sqrt() <= eps` test (`sqrt(eps·eps)` can round to a value a few
+/// ulps away from the set boundary, so comparing against a plain `eps²`
+/// is not exact).
+///
+/// # Panics
+/// If `limit` is negative or NaN.
+pub fn squared_cutoff(limit: f64) -> f64 {
+    assert!(limit >= 0.0, "cutoff limit must be non-negative");
+    if limit.is_infinite() {
+        return f64::INFINITY;
+    }
+    let mut t = limit * limit; // within a few ulps of the boundary
+    if t.is_infinite() {
+        t = f64::MAX;
+    }
+    while t > 0.0 && t.sqrt() > limit {
+        t = t.next_down();
+    }
+    loop {
+        let up = t.next_up();
+        if up.is_finite() && up.sqrt() <= limit {
+            t = up;
+        } else {
+            return t;
+        }
+    }
+}
+
+/// The largest squared sum `s` with `s.sqrt() < limit` (strict) — the
+/// abandon threshold for top-k scans where a tie with the current k-th
+/// best loses (later candidates have larger indices). May be negative
+/// (reject everything) when `limit == 0`.
+///
+/// # Panics
+/// If `limit` is negative or NaN.
+pub fn squared_cutoff_strict(limit: f64) -> f64 {
+    assert!(limit >= 0.0, "cutoff limit must be non-negative");
+    if limit.is_infinite() {
+        return f64::INFINITY;
+    }
+    let mut t = squared_cutoff(limit);
+    while t >= 0.0 && t.sqrt() >= limit {
+        t = t.next_down();
+    }
+    t
+}
+
 /// Manhattan (L1) distance `Σ |xᵢ − yᵢ|`.
 pub fn manhattan(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(
@@ -122,6 +219,53 @@ mod unit {
             assert!(d <= prev + 1e-12, "p={p}");
             prev = d;
         }
+    }
+
+    #[test]
+    fn early_abandon_agrees_with_full_kernel() {
+        let x = [0.3, -1.2, 2.0, 0.7, 0.0];
+        let y = [1.0, 0.5, -0.5, 0.2, 1.4];
+        let full = euclidean_squared(&x, &y);
+        // Limit above the sum: exact value returned.
+        assert_eq!(euclidean_squared_early_abandon(&x, &y, full), Some(full));
+        assert_eq!(
+            euclidean_squared_early_abandon(&x, &y, full * 2.0),
+            Some(full)
+        );
+        // Limit below: abandoned.
+        assert_eq!(
+            euclidean_squared_early_abandon(&x, &y, full.next_down()),
+            None
+        );
+        assert_eq!(euclidean_squared_early_abandon(&x, &y, 0.0), None);
+        // Empty input never abandons.
+        assert_eq!(euclidean_squared_early_abandon(&[], &[], 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn squared_cutoff_is_the_exact_decision_boundary() {
+        for eps in [0.0, 1e-9, 0.3, 1.0, 2.5, 1e10, 1e160] {
+            let t = squared_cutoff(eps);
+            assert!(t.sqrt() <= eps, "eps={eps}: sqrt({t}) > {eps}");
+            let up = t.next_up();
+            assert!(
+                !up.is_finite() || up.sqrt() > eps,
+                "eps={eps}: cutoff {t} not maximal"
+            );
+        }
+        assert_eq!(squared_cutoff(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn squared_cutoff_strict_excludes_ties() {
+        for eps in [1e-9, 0.3, 1.0, 2.5, 1e10] {
+            let t = squared_cutoff_strict(eps);
+            assert!(t.sqrt() < eps, "eps={eps}");
+            let up = t.next_up();
+            assert!(up.sqrt() >= eps, "eps={eps}: strict cutoff {t} not maximal");
+        }
+        // eps = 0: nothing satisfies sqrt < 0 — negative sentinel rejects all.
+        assert!(squared_cutoff_strict(0.0) < 0.0);
     }
 
     #[test]

@@ -27,56 +27,125 @@ impl DtwOptions {
     }
 }
 
-/// DTW over a generic local cost matrix, returned as the *accumulated
-/// cost* of the optimal warping path (no square root applied — the cost
-/// semantics belong to the caller).
+/// Reusable scratch space for the DTW dynamic program: the two rolling
+/// rows, kept between calls so a batched query scan (one query against a
+/// whole collection) is allocation-free in steady state.
 ///
-/// Classic O(n·m) dynamic program with two rolling rows; step pattern is
-/// the standard (match / insert / delete) recurrence with unit slope
-/// weights and boundary conditions `(0,0) → (n−1,m−1)`.
-///
-/// Returns `f64::INFINITY` when the band admits no complete path
-/// (possible when `|n − m| > band`); panics on empty inputs.
+/// The kernel never clears a full row. Under a Sakoe–Chiba band of
+/// half-width `r` each row admits only `2r + 1` cells; instead of
+/// resetting all `m` cells per row (the old behaviour), reads outside the
+/// previous row's band window are guarded and treated as `+∞`, so cells
+/// holding stale values from earlier rows — or earlier *calls* — are
+/// never observed.
+#[derive(Debug, Clone, Default)]
+pub struct DtwWorkspace {
+    prev: Vec<f64>,
+    curr: Vec<f64>,
+}
+
+impl DtwWorkspace {
+    /// Creates an empty workspace; rows grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// DTW over a generic local cost matrix, returned as the *accumulated
+    /// cost* of the optimal warping path (no square root applied — the
+    /// cost semantics belong to the caller).
+    ///
+    /// Classic O(n·m) dynamic program with two rolling rows; step pattern
+    /// is the standard (match / insert / delete) recurrence with unit
+    /// slope weights and boundary conditions `(0,0) → (n−1,m−1)`.
+    ///
+    /// Returns `f64::INFINITY` when the band admits no complete path
+    /// (possible when `|n − m| > band`); panics on empty inputs.
+    pub fn accumulated_cost(
+        &mut self,
+        n: usize,
+        m: usize,
+        cost: impl Fn(usize, usize) -> f64,
+        opts: DtwOptions,
+    ) -> f64 {
+        assert!(n > 0 && m > 0, "DTW requires non-empty series");
+        if let Some(band) = opts.band {
+            if n.abs_diff(m) > band {
+                return f64::INFINITY;
+            }
+        }
+        if self.prev.len() < m {
+            self.prev.resize(m, f64::INFINITY);
+            self.curr.resize(m, f64::INFINITY);
+        }
+        // Valid window of the previous row: reads outside it would see
+        // stale cells (from row i − 2 or a previous call) and must
+        // resolve to +∞ instead.
+        let (mut prev_lo, mut prev_hi) = (0usize, 0usize);
+        for i in 0..n {
+            let (j_lo, j_hi) = match opts.band {
+                Some(b) => (i.saturating_sub(b), (i + b).min(m - 1)),
+                None => (0, m - 1),
+            };
+            for j in j_lo..=j_hi {
+                let c = cost(i, j);
+                let best_prev = if i == 0 && j == 0 {
+                    0.0
+                } else {
+                    let up = if i > 0 && j >= prev_lo && j <= prev_hi {
+                        self.prev[j]
+                    } else {
+                        f64::INFINITY
+                    };
+                    // Within the row, only cells written this pass are
+                    // readable: j_lo's left neighbour is out of band.
+                    let left = if j > j_lo {
+                        self.curr[j - 1]
+                    } else {
+                        f64::INFINITY
+                    };
+                    let diag = if i > 0 && j > prev_lo && j - 1 <= prev_hi {
+                        self.prev[j - 1]
+                    } else {
+                        f64::INFINITY
+                    };
+                    up.min(left).min(diag)
+                };
+                self.curr[j] = c + best_prev;
+            }
+            core::mem::swap(&mut self.prev, &mut self.curr);
+            (prev_lo, prev_hi) = (j_lo, j_hi);
+        }
+        // The last row's window always covers m − 1 once the |n − m| ≤
+        // band guard has passed.
+        debug_assert!((prev_lo..=prev_hi).contains(&(m - 1)));
+        self.prev[m - 1]
+    }
+
+    /// Classic DTW between two value series with squared local cost (the
+    /// workspace-reusing form of [`dtw`]).
+    pub fn dtw(&mut self, x: &[f64], y: &[f64], opts: DtwOptions) -> f64 {
+        self.accumulated_cost(
+            x.len(),
+            y.len(),
+            |i, j| {
+                let d = x[i] - y[j];
+                d * d
+            },
+            opts,
+        )
+        .sqrt()
+    }
+}
+
+/// DTW over a generic local cost matrix — one-shot form of
+/// [`DtwWorkspace::accumulated_cost`] (allocates its rows per call).
 pub fn dtw_with_cost(
     n: usize,
     m: usize,
     cost: impl Fn(usize, usize) -> f64,
     opts: DtwOptions,
 ) -> f64 {
-    assert!(n > 0 && m > 0, "DTW requires non-empty series");
-    if let Some(band) = opts.band {
-        if n.abs_diff(m) > band {
-            return f64::INFINITY;
-        }
-    }
-    let mut prev = vec![f64::INFINITY; m];
-    let mut curr = vec![f64::INFINITY; m];
-    for i in 0..n {
-        // Band limits for row i.
-        let (j_lo, j_hi) = match opts.band {
-            Some(b) => (i.saturating_sub(b), (i + b).min(m - 1)),
-            None => (0, m - 1),
-        };
-        curr.iter_mut().for_each(|c| *c = f64::INFINITY);
-        for j in j_lo..=j_hi {
-            let c = cost(i, j);
-            let best_prev = if i == 0 && j == 0 {
-                0.0
-            } else {
-                let up = if i > 0 { prev[j] } else { f64::INFINITY };
-                let left = if j > 0 { curr[j - 1] } else { f64::INFINITY };
-                let diag = if i > 0 && j > 0 {
-                    prev[j - 1]
-                } else {
-                    f64::INFINITY
-                };
-                up.min(left).min(diag)
-            };
-            curr[j] = c + best_prev;
-        }
-        core::mem::swap(&mut prev, &mut curr);
-    }
-    prev[m - 1]
+    DtwWorkspace::new().accumulated_cost(n, m, cost, opts)
 }
 
 /// Classic DTW between two value series with squared local cost; the
@@ -111,16 +180,99 @@ pub fn dtw(x: &[f64], y: &[f64], opts: DtwOptions) -> f64 {
 /// dtw(x, y, band = r)` for equal-length series.
 pub fn lb_keogh(x: &[f64], y: &[f64], band: usize) -> f64 {
     assert_eq!(x.len(), y.len(), "LB_Keogh requires equal lengths");
+    // Streamed per-window min/max — no envelope allocation for the
+    // one-shot form (batched callers build a [`KeoghEnvelope`] once and
+    // use [`lb_keogh_enveloped`]).
     let n = x.len();
     let mut acc = 0.0;
     for (i, &xi) in x.iter().enumerate() {
-        let lo = i.saturating_sub(band);
-        let hi = (i + band).min(n - 1);
+        let w_lo = i.saturating_sub(band);
+        let w_hi = (i + band).min(n - 1);
         let (mut env_lo, mut env_hi) = (f64::INFINITY, f64::NEG_INFINITY);
-        for &v in &y[lo..=hi] {
+        for &v in &y[w_lo..=w_hi] {
             env_lo = env_lo.min(v);
             env_hi = env_hi.max(v);
         }
+        if xi > env_hi {
+            let d = xi - env_hi;
+            acc += d * d;
+        } else if xi < env_lo {
+            let d = env_lo - xi;
+            acc += d * d;
+        }
+    }
+    acc.sqrt()
+}
+
+/// Precomputed LB_Keogh envelope of a candidate series: per index `i`,
+/// the min/max of `y` over the band window `[i − r, i + r]`.
+///
+/// Building the envelope once per collection member and reusing it across
+/// queries turns the per-pair `O(n·r)` envelope scan of [`lb_keogh`] into
+/// a one-time preparation cost — the batched-query pattern of the
+/// Lernaean Hydra evaluation (Echihabi et al.).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeoghEnvelope {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    band: usize,
+}
+
+impl KeoghEnvelope {
+    /// Builds the envelope of `y` for a Sakoe–Chiba band of half-width
+    /// `band`.
+    ///
+    /// # Panics
+    /// If `y` is empty.
+    pub fn build(y: &[f64], band: usize) -> Self {
+        assert!(
+            !y.is_empty(),
+            "LB_Keogh envelope requires a non-empty series"
+        );
+        let n = y.len();
+        let mut lo = Vec::with_capacity(n);
+        let mut hi = Vec::with_capacity(n);
+        for i in 0..n {
+            let w_lo = i.saturating_sub(band);
+            let w_hi = (i + band).min(n - 1);
+            let (mut env_lo, mut env_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &v in &y[w_lo..=w_hi] {
+                env_lo = env_lo.min(v);
+                env_hi = env_hi.max(v);
+            }
+            lo.push(env_lo);
+            hi.push(env_hi);
+        }
+        Self { lo, hi, band }
+    }
+
+    /// Series length the envelope was built for.
+    pub fn len(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Whether the envelope is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_empty()
+    }
+
+    /// The band half-width the envelope was built for.
+    pub fn band(&self) -> usize {
+        self.band
+    }
+}
+
+/// LB_Keogh against a precomputed envelope — identical to
+/// [`lb_keogh`]`(x, y, env.band())` for the `y` the envelope was built
+/// from, at `O(n)` instead of `O(n·band)` per pair.
+///
+/// # Panics
+/// If `x` and the envelope disagree in length.
+pub fn lb_keogh_enveloped(x: &[f64], env: &KeoghEnvelope) -> f64 {
+    assert_eq!(x.len(), env.len(), "LB_Keogh requires equal lengths");
+    let mut acc = 0.0;
+    for (i, &xi) in x.iter().enumerate() {
+        let (env_lo, env_hi) = (env.lo[i], env.hi[i]);
         if xi > env_hi {
             let d = xi - env_hi;
             acc += d * d;
@@ -212,6 +364,51 @@ mod unit {
     fn lb_keogh_identical_is_zero() {
         let x = [1.0, 2.0, 3.0];
         assert_eq!(lb_keogh(&x, &x, 1), 0.0);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_calls() {
+        // A single workspace driven across pairs of varying length and
+        // band must reproduce the one-shot results exactly — stale cells
+        // from earlier (larger) calls must never leak into later ones.
+        let series: Vec<Vec<f64>> = (0..6)
+            .map(|k| {
+                (0..(8 + 3 * k))
+                    .map(|i| ((i as f64) * 0.37 + k as f64).sin() * (1.0 + 0.1 * k as f64))
+                    .collect()
+            })
+            .collect();
+        let mut ws = DtwWorkspace::new();
+        for x in &series {
+            for y in &series {
+                for opts in [
+                    DtwOptions::default(),
+                    DtwOptions::with_band(0),
+                    DtwOptions::with_band(2),
+                    DtwOptions::with_band(5),
+                ] {
+                    let fresh = dtw(x, y, opts);
+                    let reused = ws.dtw(x, y, opts);
+                    assert!(
+                        fresh == reused || (fresh.is_infinite() && reused.is_infinite()),
+                        "fresh {fresh} vs reused {reused}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enveloped_lb_keogh_matches_direct() {
+        let x = [0.1, 0.9, -0.4, 1.2, 0.0, -0.8, 0.3, 0.5];
+        let y = [0.0, 1.0, -0.2, 0.8, 0.1, -1.0, 0.2, 0.7];
+        for band in [0usize, 1, 3, 7, 20] {
+            let env = KeoghEnvelope::build(&y, band);
+            assert_eq!(env.len(), y.len());
+            assert_eq!(env.band(), band);
+            // Bit-identical to the direct form.
+            assert_eq!(lb_keogh_enveloped(&x, &env), lb_keogh(&x, &y, band));
+        }
     }
 
     #[test]

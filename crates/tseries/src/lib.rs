@@ -36,8 +36,13 @@ pub mod resample;
 pub mod sax;
 pub mod series;
 
-pub use distance::{chebyshev, euclidean, euclidean_squared, lp_distance, manhattan};
-pub use dtw::{dtw, dtw_with_cost, lb_keogh, DtwOptions};
+pub use distance::{
+    chebyshev, euclidean, euclidean_squared, euclidean_squared_early_abandon, lp_distance,
+    manhattan, squared_cutoff, squared_cutoff_strict,
+};
+pub use dtw::{
+    dtw, dtw_with_cost, lb_keogh, lb_keogh_enveloped, DtwOptions, DtwWorkspace, KeoghEnvelope,
+};
 pub use filters::{exponential_moving_average, moving_average};
 pub use haar::{haar_forward, haar_inverse, HaarSynopsis};
 pub use paa::{paa, PaaSynopsis};

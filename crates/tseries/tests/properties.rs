@@ -2,9 +2,11 @@
 
 use proptest::prelude::*;
 use uts_tseries::{
-    chebyshev, dtw, euclidean, exponential_moving_average, haar_forward, haar_inverse, lb_keogh,
-    lp_distance, manhattan, moving_average, paa, resample_linear, DtwOptions, HaarSynopsis,
-    PaaSynopsis, SaxWord, TimeSeries,
+    chebyshev, dtw, euclidean, euclidean_squared, euclidean_squared_early_abandon,
+    exponential_moving_average, haar_forward, haar_inverse, lb_keogh, lb_keogh_enveloped,
+    lp_distance, manhattan, moving_average, paa, resample_linear, squared_cutoff,
+    squared_cutoff_strict, DtwOptions, DtwWorkspace, HaarSynopsis, KeoghEnvelope, PaaSynopsis,
+    SaxWord, TimeSeries,
 };
 
 fn series_strategy(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -139,6 +141,52 @@ proptest! {
         }
     }
 
+    // ---- early abandonment -------------------------------------------------
+
+    #[test]
+    fn early_abandon_agrees_with_naive_on_both_sides(
+        x in series_strategy(1, 32),
+        y in series_strategy(1, 32),
+        frac in 0.0..2.0f64,
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let full = euclidean_squared(x, y);
+        // A limit swept across both sides of the actual sum.
+        let limit = full * frac;
+        match euclidean_squared_early_abandon(x, y, limit) {
+            Some(s) => {
+                prop_assert_eq!(s, full);           // bit-identical sum
+                prop_assert!(s <= limit);
+            }
+            None => prop_assert!(full > limit),
+        }
+        // Exactly at the sum: never abandons, returns the same bits.
+        prop_assert_eq!(euclidean_squared_early_abandon(x, y, full), Some(full));
+        // Just below (when representable): always abandons.
+        if full > 0.0 {
+            prop_assert_eq!(euclidean_squared_early_abandon(x, y, full.next_down()), None);
+        }
+    }
+
+    #[test]
+    fn squared_cutoff_decision_matches_sqrt_comparison(
+        x in series_strategy(1, 24),
+        y in series_strategy(1, 24),
+        eps in 0.0..200.0f64,
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let naive = euclidean(x, y) <= eps;
+        let fast = euclidean_squared_early_abandon(x, y, squared_cutoff(eps)).is_some();
+        prop_assert_eq!(fast, naive);
+        // Strict variant mirrors `<`.
+        let naive_strict = euclidean(x, y) < eps;
+        let fast_strict =
+            euclidean_squared_early_abandon(x, y, squared_cutoff_strict(eps)).is_some();
+        prop_assert_eq!(fast_strict, naive_strict);
+    }
+
     // ---- DTW --------------------------------------------------------------
 
     #[test]
@@ -170,6 +218,38 @@ proptest! {
         let lb = lb_keogh(x, y, band);
         let d = dtw(x, y, DtwOptions::with_band(band));
         prop_assert!(lb <= d + 1e-9, "lb={lb} dtw={d}");
+    }
+
+    #[test]
+    fn dtw_workspace_matches_one_shot(
+        x in series_strategy(2, 24),
+        y in series_strategy(2, 24),
+        band in 0usize..8,
+    ) {
+        let mut ws = DtwWorkspace::new();
+        // Dirty the workspace with a first (larger) computation, then
+        // check the reused rows reproduce the fresh results bit-for-bit.
+        let _ = ws.dtw(&x, &x, DtwOptions::default());
+        for opts in [DtwOptions::default(), DtwOptions::with_band(band)] {
+            let fresh = dtw(&x, &y, opts);
+            let reused = ws.dtw(&x, &y, opts);
+            prop_assert!(
+                fresh == reused || (fresh.is_infinite() && reused.is_infinite()),
+                "fresh {} vs reused {}", fresh, reused
+            );
+        }
+    }
+
+    #[test]
+    fn keogh_envelope_matches_direct_lb(
+        x in series_strategy(2, 24),
+        y in series_strategy(2, 24),
+        band in 0usize..8,
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let env = KeoghEnvelope::build(y, band);
+        prop_assert_eq!(lb_keogh_enveloped(x, &env), lb_keogh(x, y, band));
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub use uts_uncertain as uncertain;
 /// series, perturb them, and run similarity measures / matching.
 pub mod prelude {
     pub use uts_core::dust::{Dust, DustConfig};
+    pub use uts_core::engine::QueryEngine;
     pub use uts_core::euclidean::euclidean_distance;
     pub use uts_core::matching::{MatchingTask, QualityScores, Technique, TechniqueKind};
     pub use uts_core::munich::{Munich, MunichConfig};
