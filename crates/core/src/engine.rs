@@ -19,7 +19,10 @@
 //!    * DUST — lookup tables for every ordered error pair present in the
 //!      collection, so no query pays a table *build*;
 //!    * MUNICH — per-series MBI envelopes feeding the filter step without
-//!      re-scanning sample rows per pair;
+//!      re-scanning sample rows per pair; range queries then refine the
+//!      surviving candidates through the count-bound early-abandonment
+//!      pipeline ([`Munich::matches_enveloped`](crate::munich::Munich)),
+//!      fanned over all cores;
 //!    * DTW — LB_Keogh envelopes of every member, cached per band width.
 //! 2. **Query** (per query): squared-distance comparisons with early
 //!    abandonment against the exact ε² decision boundary
@@ -47,6 +50,28 @@ use uts_uncertain::PointError;
 
 use crate::matching::{GroundTruth, MatchingTask, QualityScores, Technique};
 use crate::munich::MbiEnvelope;
+use crate::parallel::parallel_map;
+
+/// Typed rejection of a collection the technique cannot be prepared for,
+/// returned by [`QueryEngine::try_prepare`]. [`QueryEngine::prepare`]
+/// panics with the same message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrepareError {
+    /// MUNICH needs repeated observations, but the task carries none.
+    MissingMultiObs,
+}
+
+impl std::fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingMultiObs => {
+                write!(f, "MUNICH requires multi-observation data in the task")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
 
 /// Per-collection state prepared once for a `(collection, technique)`
 /// pair (see the module docs for what each technique precomputes).
@@ -84,8 +109,17 @@ impl<'a> QueryEngine<'a> {
     ///
     /// # Panics
     /// For [`Technique::Munich`] when the task holds no multi-observation
-    /// data.
+    /// data ([`QueryEngine::try_prepare`] reports this as a typed
+    /// [`PrepareError`] instead).
     pub fn prepare(task: &'a MatchingTask, technique: &Technique) -> Self {
+        Self::try_prepare(task, technique).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`QueryEngine::prepare`].
+    pub fn try_prepare(
+        task: &'a MatchingTask,
+        technique: &Technique,
+    ) -> Result<Self, PrepareError> {
         let state = match technique {
             Technique::Euclidean | Technique::Proud { .. } => Prepared::Plain,
             Technique::Dust(d) => {
@@ -115,18 +149,16 @@ impl<'a> QueryEngine<'a> {
                 Prepared::Filtered(task.uncertain().iter().map(|s| u.filter(s)).collect())
             }
             Technique::Munich { .. } => {
-                let multi = task
-                    .multi()
-                    .expect("MUNICH requires multi-observation data in the task");
+                let multi = task.multi().ok_or(PrepareError::MissingMultiObs)?;
                 Prepared::Munich(multi.iter().map(MbiEnvelope::build).collect())
             }
         };
-        Self {
+        Ok(Self {
             task,
             technique: technique.clone(),
             state,
             keogh: RwLock::new(HashMap::new()),
-        }
+        })
     }
 
     /// The underlying task.
@@ -192,18 +224,29 @@ impl<'a> QueryEngine<'a> {
                     .multi()
                     .expect("MUNICH requires multi-observation data in the task");
                 let qm = &multi[q];
-                for i in (0..n).filter(|&i| i != q) {
-                    let p = munich.probability_within_enveloped(
+                // Pruned refinement, fanned over all cores: each candidate
+                // runs the MBI-filter → count-bound-abandon → refine
+                // pipeline, whose decision is bit-identical to the naive
+                // `matches` (and therefore to the `p ≥ τ` comparison the
+                // engine historically made). `parallel_map` preserves
+                // order, so the answer set stays sorted.
+                let candidates: Vec<usize> = (0..n).filter(|&i| i != q).collect();
+                let hits = parallel_map(&candidates, |&i| {
+                    munich.matches_enveloped(
                         qm,
                         &multi[i],
                         epsilon,
+                        *tau,
                         &envelopes[q],
                         &envelopes[i],
-                    );
-                    if p >= *tau {
-                        out.push(i);
-                    }
-                }
+                    )
+                });
+                out.extend(
+                    candidates
+                        .iter()
+                        .zip(hits)
+                        .filter_map(|(&i, hit)| hit.then_some(i)),
+                );
             }
             _ => unreachable!("prepared state matches the technique by construction"),
         }
@@ -237,21 +280,19 @@ impl<'a> QueryEngine<'a> {
                     .multi()
                     .expect("MUNICH requires multi-observation data in the task");
                 let qm = &multi[q];
-                Some(
-                    (0..n)
-                        .filter(|&i| i != q)
-                        .map(|i| {
-                            let p = munich.probability_within_enveloped(
-                                qm,
-                                &multi[i],
-                                epsilon,
-                                &envelopes[q],
-                                &envelopes[i],
-                            );
-                            (i, p)
-                        })
-                        .collect(),
-                )
+                // Full probabilities cannot abandon early (the value
+                // itself is the answer), but they parallelise perfectly.
+                let candidates: Vec<usize> = (0..n).filter(|&i| i != q).collect();
+                let probs = parallel_map(&candidates, |&i| {
+                    munich.probability_within_enveloped(
+                        qm,
+                        &multi[i],
+                        epsilon,
+                        &envelopes[q],
+                        &envelopes[i],
+                    )
+                });
+                Some(candidates.into_iter().zip(probs).collect())
             }
             _ => None,
         }

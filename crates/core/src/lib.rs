@@ -50,6 +50,7 @@ pub mod engine;
 pub mod euclidean;
 pub mod matching;
 pub mod munich;
+pub mod parallel;
 pub mod proud;
 pub mod proud_stream;
 pub mod query;
@@ -57,10 +58,11 @@ pub mod uma;
 
 pub use classify::{knn_loocv, one_nn_loocv, ClassificationOutcome};
 pub use dust::{Dust, DustConfig};
-pub use engine::QueryEngine;
+pub use engine::{PrepareError, QueryEngine};
 pub use euclidean::euclidean_distance;
 pub use matching::{MatchingTask, QualityScores, TechniqueKind};
-pub use munich::{MbiEnvelope, Munich, MunichConfig, MunichStrategy};
+pub use munich::{MbiEnvelope, Munich, MunichConfig, MunichError, MunichStrategy};
+pub use parallel::parallel_map;
 pub use proud::{MomentModel, Proud, ProudConfig};
 pub use proud_stream::ProudStream;
 pub use query::{ProbabilisticRangeQuery, RangeQuery, TopK, TopKMotifs};

@@ -29,6 +29,33 @@
 //!   short-circuiting certain 0/1 answers first ("upper and lower bounding
 //!   the distances, summarizing the repeated samples using minimal
 //!   bounding intervals"): no false dismissals.
+//!
+//! ## The refinement pipeline for PRQ decisions
+//!
+//! A probabilistic range query does not need the probability — it needs
+//! the *decision* `Pr(dist ≤ ε) ≥ τ`. [`Munich::decide_within`] (and its
+//! batched-engine twin [`Munich::matches_enveloped`]) runs a three-stage
+//! pipeline that is guaranteed to return exactly what
+//! [`Munich::matches`] would have returned, usually at a fraction of the
+//! cost:
+//!
+//! 1. **MBI filter** — the paper's interval bounds decide certain 0/1
+//!    answers without touching sample rows;
+//! 2. **count-bound early abandonment** — every refinement strategy keeps
+//!    running lower/upper bounds on the fraction of materialisations
+//!    within ε as per-timestamp contributions fold in, and stops the
+//!    moment the bound interval can no longer cross τ;
+//! 3. **exact/convolution refinement** — only candidates whose bound
+//!    interval straddles τ to the very end pay the full computation,
+//!    which is then *bit-identical* to the naive path.
+//!
+//! The per-timestamp squared-difference distributions feeding stages 2–3
+//! are computed once per pair ([`PairContribs`] internally) instead of
+//! once per strategy attempt, and the exact DP folds them tightest-first
+//! (largest guaranteed contribution first) so the running bounds converge
+//! as fast as possible.
+
+use std::fmt;
 
 use rand::Rng;
 use uts_stats::rng::Seed;
@@ -64,8 +91,10 @@ pub enum MunichStrategy {
 pub struct MunichConfig {
     /// Distribution strategy.
     pub strategy: MunichStrategy,
-    /// Exact DP keeps at most this many distinct partial sums before
-    /// falling back (memory/time guard).
+    /// Exact DP runs only when the product of per-timestamp *distinct*
+    /// squared-difference counts stays within this limit (the DP support
+    /// can never exceed it); beyond it the Auto/Exact strategies fall
+    /// back to convolution.
     pub exact_support_limit: usize,
     /// Bin count used when `Auto` falls back to convolution.
     pub auto_bins: usize,
@@ -87,6 +116,51 @@ impl Default for MunichConfig {
         }
     }
 }
+
+/// Typed rejection of invalid MUNICH inputs, returned by the `try_*`
+/// APIs. The panicking entry points raise the same messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MunichError {
+    /// The two series have different lengths.
+    LengthMismatch {
+        /// Length of the first series.
+        x: usize,
+        /// Length of the second series.
+        y: usize,
+    },
+    /// One of the series covers no timestamps.
+    EmptySeries,
+    /// The distance threshold is negative or NaN.
+    InvalidEpsilon(f64),
+    /// The probability threshold is outside `[0, 1]` or NaN.
+    InvalidTau(f64),
+}
+
+impl fmt::Display for MunichError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LengthMismatch { x, y } => {
+                write!(f, "MUNICH requires equal-length series (got {x} vs {y})")
+            }
+            Self::EmptySeries => write!(f, "MUNICH requires non-empty series"),
+            Self::InvalidEpsilon(e) => {
+                write!(f, "distance threshold must be non-negative (got {e})")
+            }
+            Self::InvalidTau(t) => write!(f, "τ must be in [0, 1] (got {t})"),
+        }
+    }
+}
+
+impl std::error::Error for MunichError {}
+
+/// Slop absorbed by every early-abandonment decision: a candidate is only
+/// abandoned when its running probability bounds clear τ by more than
+/// this margin. IEEE drift between the incremental bound arithmetic and
+/// the full computation is orders of magnitude smaller (≲ 1e-12 for the
+/// longest supported series), so a decision taken early always equals the
+/// decision the completed — bit-identical — computation would take;
+/// within the margin the pipeline completes the full computation instead.
+const DECISION_MARGIN: f64 = 1e-9;
 
 /// Lower/upper bounds on `Pr(distance ≤ ε)`; equal when the answer is
 /// exact.
@@ -133,34 +207,76 @@ impl Munich {
         &self.config
     }
 
+    fn validate_pair(x: &MultiObsSeries, y: &MultiObsSeries) -> Result<(), MunichError> {
+        if x.len() != y.len() {
+            return Err(MunichError::LengthMismatch {
+                x: x.len(),
+                y: y.len(),
+            });
+        }
+        if x.is_empty() {
+            return Err(MunichError::EmptySeries);
+        }
+        Ok(())
+    }
+
+    fn validate_epsilon(epsilon: f64) -> Result<(), MunichError> {
+        if epsilon >= 0.0 {
+            Ok(())
+        } else {
+            Err(MunichError::InvalidEpsilon(epsilon))
+        }
+    }
+
+    fn validate_tau(tau: f64) -> Result<(), MunichError> {
+        if (0.0..=1.0).contains(&tau) {
+            Ok(())
+        } else {
+            Err(MunichError::InvalidTau(tau))
+        }
+    }
+
     /// `Pr(distance(X, Y) ≤ ε)` over all materialisation pairs
     /// (paper Eq. 4), as rigorous bounds.
     ///
     /// # Panics
-    /// If the series lengths differ or either is empty.
+    /// If the series lengths differ, either is empty, or `ε` is negative
+    /// or NaN ([`Munich::try_probability_bounds`] reports the same
+    /// conditions as typed errors instead).
     pub fn probability_bounds(
         &self,
         x: &MultiObsSeries,
         y: &MultiObsSeries,
         epsilon: f64,
     ) -> ProbabilityBounds {
-        assert_eq!(x.len(), y.len(), "MUNICH requires equal-length series");
-        assert!(!x.is_empty(), "MUNICH requires non-empty series");
-        assert!(epsilon >= 0.0, "distance threshold must be non-negative");
+        self.try_probability_bounds(x, y, epsilon)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Munich::probability_bounds`]: invalid inputs
+    /// come back as a [`MunichError`] instead of a panic.
+    pub fn try_probability_bounds(
+        &self,
+        x: &MultiObsSeries,
+        y: &MultiObsSeries,
+        epsilon: f64,
+    ) -> Result<ProbabilityBounds, MunichError> {
+        Self::validate_pair(x, y)?;
+        Self::validate_epsilon(epsilon)?;
         let eps_sq = epsilon * epsilon;
 
         // MBI filter step: certain answers without touching samples.
         if self.config.use_mbi_filter {
             let (lb_sq, ub_sq) = interval_distance_sq_bounds(x, y);
             if ub_sq <= eps_sq {
-                return ProbabilityBounds::exact(1.0);
+                return Ok(ProbabilityBounds::exact(1.0));
             }
             if lb_sq > eps_sq {
-                return ProbabilityBounds::exact(0.0);
+                return Ok(ProbabilityBounds::exact(0.0));
             }
         }
 
-        self.refine_bounds(x, y, eps_sq)
+        Ok(self.refine_bounds(x, y, eps_sq))
     }
 
     /// The sample-level refinement step of [`Munich::probability_bounds`]
@@ -172,14 +288,17 @@ impl Munich {
         eps_sq: f64,
     ) -> ProbabilityBounds {
         match self.config.strategy {
-            MunichStrategy::Exact => self.exact_or_convolve(x, y, eps_sq),
+            MunichStrategy::Exact | MunichStrategy::Auto => {
+                let c = PairContribs::build(x, y);
+                self.exact_or_convolve(&c, eps_sq)
+            }
             MunichStrategy::Convolution { bins } => {
-                ProbabilityBounds::from(convolve_probability(x, y, eps_sq, bins))
+                let c = PairContribs::build(x, y);
+                ProbabilityBounds::from(convolve_probability_from(&c, eps_sq, bins))
             }
             MunichStrategy::MonteCarlo { samples } => {
                 ProbabilityBounds::exact(self.monte_carlo_euclid(x, y, eps_sq, samples))
             }
-            MunichStrategy::Auto => self.exact_or_convolve(x, y, eps_sq),
         }
     }
 
@@ -221,10 +340,123 @@ impl Munich {
     }
 
     /// PRQ membership: `Pr(distance ≤ ε) ≥ τ` (paper Eq. 2), decided on
-    /// the point estimate.
+    /// the point estimate. This is the reference decision path; prefer
+    /// [`Munich::decide_within`], which returns the same answer without
+    /// always paying for the full probability.
     pub fn matches(&self, x: &MultiObsSeries, y: &MultiObsSeries, epsilon: f64, tau: f64) -> bool {
         assert!((0.0..=1.0).contains(&tau), "τ must be in [0, 1]");
         self.probability_within(x, y, epsilon) >= tau
+    }
+
+    /// PRQ membership via the pruned refinement pipeline (see the module
+    /// docs): MBI filter, then count-bound early abandonment inside the
+    /// configured strategy, completing the full — bit-identical —
+    /// computation only when the running bounds straddle τ throughout.
+    ///
+    /// Returns exactly what [`Munich::matches`] returns on the same
+    /// inputs. The decision uses the non-strict `≥ τ` cutoff of Eq. 2
+    /// (mirroring `squared_cutoff` semantics in the engine's distance
+    /// scans; there is no strict variant because PRQ membership is
+    /// inclusive).
+    ///
+    /// # Panics
+    /// On invalid inputs, like [`Munich::matches`]
+    /// ([`Munich::try_decide_within`] reports them as typed errors).
+    pub fn decide_within(
+        &self,
+        x: &MultiObsSeries,
+        y: &MultiObsSeries,
+        epsilon: f64,
+        tau: f64,
+    ) -> bool {
+        self.try_decide_within(x, y, epsilon, tau)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Munich::decide_within`].
+    pub fn try_decide_within(
+        &self,
+        x: &MultiObsSeries,
+        y: &MultiObsSeries,
+        epsilon: f64,
+        tau: f64,
+    ) -> Result<bool, MunichError> {
+        Self::validate_pair(x, y)?;
+        Self::validate_epsilon(epsilon)?;
+        Self::validate_tau(tau)?;
+        if tau <= 0.0 {
+            // Probabilities are non-negative, so `p ≥ 0` always holds.
+            return Ok(true);
+        }
+        let eps_sq = epsilon * epsilon;
+        if self.config.use_mbi_filter {
+            let (lb_sq, ub_sq) = interval_distance_sq_bounds(x, y);
+            if ub_sq <= eps_sq {
+                return Ok(true); // p = 1 ≥ τ for every valid τ
+            }
+            if lb_sq > eps_sq {
+                return Ok(false); // p = 0 < τ (τ > 0 here)
+            }
+        }
+        Ok(self.decide_refine(x, y, eps_sq, tau))
+    }
+
+    /// [`Munich::decide_within`] with precomputed MBI envelopes — the
+    /// batched engine's per-candidate decision. Bit-identical to the
+    /// pairwise decision (and therefore to [`Munich::matches`]) for the
+    /// series the envelopes were built from.
+    pub fn matches_enveloped(
+        &self,
+        x: &MultiObsSeries,
+        y: &MultiObsSeries,
+        epsilon: f64,
+        tau: f64,
+        env_x: &MbiEnvelope,
+        env_y: &MbiEnvelope,
+    ) -> bool {
+        assert_eq!(x.len(), y.len(), "MUNICH requires equal-length series");
+        assert!(!x.is_empty(), "MUNICH requires non-empty series");
+        assert!(epsilon >= 0.0, "distance threshold must be non-negative");
+        assert!((0.0..=1.0).contains(&tau), "τ must be in [0, 1]");
+        if tau <= 0.0 {
+            return true;
+        }
+        let eps_sq = epsilon * epsilon;
+        if self.config.use_mbi_filter {
+            let (lb_sq, ub_sq) = interval_distance_sq_bounds_enveloped(env_x, env_y);
+            if ub_sq <= eps_sq {
+                return true;
+            }
+            if lb_sq > eps_sq {
+                return false;
+            }
+        }
+        self.decide_refine(x, y, eps_sq, tau)
+    }
+
+    /// Strategy dispatch for the decision pipeline's refinement stage.
+    /// Every arm decides exactly as `refine_bounds(..).estimate() >= tau`
+    /// would, abandoning early only when the running count bounds clear τ
+    /// beyond [`DECISION_MARGIN`].
+    fn decide_refine(&self, x: &MultiObsSeries, y: &MultiObsSeries, eps_sq: f64, tau: f64) -> bool {
+        match self.config.strategy {
+            MunichStrategy::Exact | MunichStrategy::Auto => {
+                let c = PairContribs::build(x, y);
+                if c.distinct_product <= self.config.exact_support_limit {
+                    match exact_dp(&c, eps_sq, Some(tau)) {
+                        DpRun::Completed(p) => p >= tau,
+                        DpRun::Decided(hit) => hit,
+                    }
+                } else {
+                    convolve_decide(&c, eps_sq, tau, self.config.auto_bins)
+                }
+            }
+            MunichStrategy::Convolution { bins } => {
+                let c = PairContribs::build(x, y);
+                convolve_decide(&c, eps_sq, tau, bins)
+            }
+            MunichStrategy::MonteCarlo { samples } => self.mc_decide(x, y, eps_sq, tau, samples),
+        }
     }
 
     /// `Pr(DTW(X, Y) ≤ ε)` estimated by Monte-Carlo over materialisation
@@ -270,17 +502,14 @@ impl Munich {
         hits as f64 / samples as f64
     }
 
-    fn exact_or_convolve(
-        &self,
-        x: &MultiObsSeries,
-        y: &MultiObsSeries,
-        eps_sq: f64,
-    ) -> ProbabilityBounds {
-        match exact_probability(x, y, eps_sq, self.config.exact_support_limit) {
-            Some(p) => ProbabilityBounds::exact(p),
-            None => {
-                ProbabilityBounds::from(convolve_probability(x, y, eps_sq, self.config.auto_bins))
+    fn exact_or_convolve(&self, c: &PairContribs, eps_sq: f64) -> ProbabilityBounds {
+        if c.distinct_product <= self.config.exact_support_limit {
+            match exact_dp(c, eps_sq, None) {
+                DpRun::Completed(p) => ProbabilityBounds::exact(p),
+                DpRun::Decided(_) => unreachable!("no decision threshold given"),
             }
+        } else {
+            ProbabilityBounds::from(convolve_probability_from(c, eps_sq, self.config.auto_bins))
         }
     }
 
@@ -312,6 +541,52 @@ impl Munich {
         }
         hits as f64 / samples as f64
     }
+
+    /// Monte-Carlo decision with integer count bounds: after `t` of `N`
+    /// draws with `h` hits, the final hit count lies in
+    /// `[h, h + (N − t)]`. Division by a positive constant is monotone
+    /// under IEEE rounding, so `h/N ≥ τ` already proves the full
+    /// estimate would match and `(h + N − t)/N < τ` proves it would not —
+    /// both early exits are bit-exact against the completed run (the
+    /// first `t` draws replay [`Munich::monte_carlo_euclid`]'s sampling
+    /// loop verbatim, including its inner early abandon, so the RNG
+    /// stream is consumed identically up to the exit).
+    fn mc_decide(
+        &self,
+        x: &MultiObsSeries,
+        y: &MultiObsSeries,
+        eps_sq: f64,
+        tau: f64,
+        samples: usize,
+    ) -> bool {
+        assert!(samples > 0, "need at least one Monte-Carlo sample");
+        let mut rng = Seed::new(self.config.mc_seed).derive("euclid").rng();
+        let n = x.len();
+        let total = samples as f64;
+        let mut hits = 0usize;
+        for done in 1..=samples {
+            let mut acc = 0.0;
+            for i in 0..n {
+                let xv = x.row(i)[rng.gen_range(0..x.samples_per_point())];
+                let yv = y.row(i)[rng.gen_range(0..y.samples_per_point())];
+                let d = xv - yv;
+                acc += d * d;
+                if acc > eps_sq {
+                    break;
+                }
+            }
+            if acc <= eps_sq {
+                hits += 1;
+            }
+            if hits as f64 / total >= tau {
+                return true;
+            }
+            if (hits + (samples - done)) as f64 / total < tau {
+                return false;
+            }
+        }
+        hits as f64 / total >= tau
+    }
 }
 
 impl From<(f64, f64)> for ProbabilityBounds {
@@ -320,19 +595,839 @@ impl From<(f64, f64)> for ProbabilityBounds {
     }
 }
 
-/// Squared per-timestamp sample differences at timestamp `i`
-/// (the support of `Cᵢ`, each value with probability `1/(s_x·s_y)`).
-fn pairwise_sq_diffs(x: &MultiObsSeries, y: &MultiObsSeries, i: usize) -> Vec<f64> {
-    let rx = x.row(i);
-    let ry = y.row(i);
-    let mut out = Vec::with_capacity(rx.len() * ry.len());
-    for &a in rx {
-        for &b in ry {
-            let d = a - b;
-            out.push(d * d);
+/// Per-pair refinement state: the per-timestamp squared-difference sample
+/// distributions, computed once and shared by the exact DP, the
+/// convolution, and the decision pipeline's running bounds (previously
+/// every strategy attempt re-enumerated the sample cross-product — up to
+/// three times per undecided pair).
+struct PairContribs {
+    /// Number of timestamps.
+    n: usize,
+    /// Cross-product size `s_x · s_y` (constant across timestamps).
+    m: usize,
+    /// Probability of each raw squared difference, `1 / m`.
+    p_each: f64,
+    /// Raw per-timestamp squared differences, `n × m` row-major in the
+    /// naive enumeration order (x-sample outer, y-sample inner) — the
+    /// convolution folds these so its arithmetic stays bit-identical to
+    /// the historical per-pair enumeration.
+    raw: Vec<f64>,
+    /// Distinct sorted values per timestamp (flattened)...
+    dvals: Vec<f64>,
+    /// ...with their aggregated probabilities `count · p_each`.
+    dwts: Vec<f64>,
+    /// Timestamp `i` owns `dvals[dstart[i]..dstart[i + 1]]`.
+    dstart: Vec<usize>,
+    /// Per-timestamp minimum squared difference.
+    step_min: Vec<f64>,
+    /// Per-timestamp maximum squared difference.
+    step_max: Vec<f64>,
+    /// `Σᵢ step_max[i]` accumulated in ascending timestamp order (the
+    /// convolution's histogram range; order matters for bit-identity).
+    total_max: f64,
+    /// `∏ᵢ distinct_countᵢ`, saturating — an upper bound on the exact
+    /// DP's final support size, decided before any DP work.
+    distinct_product: usize,
+    /// Cached tightest-first fold order (see [`Self::fold_order`]) — one
+    /// decision may fold up to four times (ladder rungs + final), so the
+    /// sort runs once at build time.
+    fold_order: Vec<usize>,
+}
+
+impl PairContribs {
+    fn build(x: &MultiObsSeries, y: &MultiObsSeries) -> Self {
+        let n = x.len();
+        let m = x.samples_per_point() * y.samples_per_point();
+        let p_each = 1.0 / m as f64;
+        let mut raw = Vec::with_capacity(n * m);
+        let mut dvals = Vec::new();
+        let mut dwts = Vec::new();
+        let mut dstart = Vec::with_capacity(n + 1);
+        dstart.push(0usize);
+        let mut step_min = Vec::with_capacity(n);
+        let mut step_max = Vec::with_capacity(n);
+        let mut total_max = 0.0f64;
+        let mut distinct_product = 1usize;
+        let mut sorted: Vec<f64> = Vec::with_capacity(m);
+        for i in 0..n {
+            let start = raw.len();
+            for &a in x.row(i) {
+                for &b in y.row(i) {
+                    let d = a - b;
+                    raw.push(d * d);
+                }
+            }
+            let step = &raw[start..];
+            total_max += step.iter().fold(0.0f64, |acc, &v| acc.max(v));
+            sorted.clear();
+            sorted.extend_from_slice(step);
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample differences"));
+            let mut distinct = 0usize;
+            let mut idx = 0usize;
+            while idx < sorted.len() {
+                let v = sorted[idx];
+                let mut cnt = 1usize;
+                while idx + cnt < sorted.len() && sorted[idx + cnt] == v {
+                    cnt += 1;
+                }
+                dvals.push(v);
+                dwts.push(cnt as f64 * p_each);
+                distinct += 1;
+                idx += cnt;
+            }
+            dstart.push(dvals.len());
+            step_min.push(sorted[0]);
+            step_max.push(sorted[m - 1]);
+            distinct_product = distinct_product.saturating_mul(distinct);
+        }
+        let mut fold_order: Vec<usize> = (0..n).collect();
+        fold_order.sort_by(|&a, &b| {
+            step_max[a]
+                .partial_cmp(&step_max[b])
+                .expect("finite sample differences")
+                .then(
+                    step_min[a]
+                        .partial_cmp(&step_min[b])
+                        .expect("finite sample differences"),
+                )
+                .then(a.cmp(&b))
+        });
+        Self {
+            n,
+            m,
+            p_each,
+            raw,
+            dvals,
+            dwts,
+            dstart,
+            step_min,
+            step_max,
+            total_max,
+            distinct_product,
+            fold_order,
         }
     }
-    out
+
+    fn step_raw(&self, i: usize) -> &[f64] {
+        &self.raw[i * self.m..(i + 1) * self.m]
+    }
+
+    fn step_distinct(&self, i: usize) -> (&[f64], &[f64]) {
+        let r = self.dstart[i]..self.dstart[i + 1];
+        (&self.dvals[r.clone()], &self.dwts[r])
+    }
+
+    /// Fold order for the exact DP and the convolutions: tightest-first —
+    /// the timestamp with the largest guaranteed (minimum) contribution
+    /// folds first, so the running sum's lower bound climbs toward ε² as
+    /// fast as possible and the count bounds decide candidates in as few
+    /// steps as possible. Ties break by the largest maximum, then by
+    /// timestamp index, so the order (and with it every downstream FP
+    /// sum) is deterministic. Computed once in [`Self::build`].
+    fn fold_order(&self) -> &[usize] {
+        &self.fold_order
+    }
+}
+
+/// Outcome of one exact-DP run.
+enum DpRun {
+    /// The DP folded every timestamp; the exact probability.
+    Completed(f64),
+    /// Count-bound early abandonment fired: the PRQ decision is already
+    /// certain (and equal to what `Completed(p) → p ≥ τ` would yield).
+    Decided(bool),
+}
+
+/// Exact probability via DP over the support of partial sums, folding the
+/// per-timestamp distinct distributions in [`PairContribs::fold_order`].
+///
+/// With `decide = Some(τ)`, running count bounds are maintained after
+/// every fold: an entry whose partial sum plus the *maximum* possible
+/// remaining contribution stays below ε² is certainly within range, one
+/// whose partial sum plus the *minimum* remaining contribution exceeds ε²
+/// is certainly out. When the certain mass alone reaches τ (or the
+/// possible mass can no longer reach it) beyond [`DECISION_MARGIN`], the
+/// DP abandons with the decision. The margin (and an ε²-side `slack`
+/// guarding the final sum comparisons) dominates the IEEE drift of the
+/// bound arithmetic, so an abandoned decision always equals the completed
+/// one; near-τ candidates simply complete, bit-identical to
+/// `decide = None`.
+fn exact_dp(c: &PairContribs, eps_sq: f64, decide: Option<f64>) -> DpRun {
+    let n = c.n;
+    let order = c.fold_order();
+    // Min/max total contribution of the not-yet-folded suffix, in fold
+    // order. Only the deciding path reads it, but it is O(n) to build.
+    let mut suffix = vec![(0.0f64, 0.0f64); n + 1];
+    for t in (0..n).rev() {
+        let s = order[t];
+        suffix[t] = (
+            suffix[t + 1].0 + c.step_min[s],
+            suffix[t + 1].1 + c.step_max[s],
+        );
+    }
+    // Guards the `partial + remaining ≤ ε²` comparisons against the FP
+    // drift between "bound arithmetic now" and "actual fold later".
+    let slack = 1e-9 * (1.0 + eps_sq + c.total_max);
+    // support: sorted (sum, probability) pairs.
+    let mut support: Vec<(f64, f64)> = vec![(0.0, 1.0)];
+    for (t, &s) in order.iter().enumerate() {
+        let (vals, wts) = c.step_distinct(s);
+        let mut next: Vec<(f64, f64)> = Vec::with_capacity(support.len() * vals.len());
+        for &(sum, p) in &support {
+            for (&v, &w) in vals.iter().zip(wts) {
+                next.push((sum + v, p * w));
+            }
+        }
+        next.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite sums"));
+        // Merge exact duplicates (common with symmetric samples).
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(next.len());
+        for (v, p) in next {
+            match merged.last_mut() {
+                Some((lv, lp)) if *lv == v => *lp += p,
+                _ => merged.push((v, p)),
+            }
+        }
+        support = merged;
+        if let Some(tau) = decide {
+            if t + 1 < n {
+                let (rem_lo, rem_hi) = suffix[t + 1];
+                // The support is sorted, so both predicates split it at a
+                // prefix boundary.
+                let certain = support.partition_point(|&(v, _)| v + rem_hi <= eps_sq - slack);
+                let lb: f64 = support[..certain].iter().map(|&(_, p)| p).sum();
+                if lb - DECISION_MARGIN >= tau {
+                    return DpRun::Decided(true);
+                }
+                let possible = support.partition_point(|&(v, _)| v + rem_lo <= eps_sq + slack);
+                let ub: f64 = support[..possible].iter().map(|&(_, p)| p).sum();
+                if ub + DECISION_MARGIN < tau {
+                    return DpRun::Decided(false);
+                }
+            }
+        }
+    }
+    let p: f64 = support
+        .iter()
+        .take_while(|&&(v, _)| v <= eps_sq)
+        .map(|&(_, p)| p)
+        .sum();
+    DpRun::Completed(p.clamp(0.0, 1.0))
+}
+
+/// Exact probability of `Pr(Σ Cᵢ ≤ ε²)`, or `None` when the product of
+/// per-timestamp distinct-difference counts exceeds `limit` (the DP
+/// support can never outgrow that product, so feasibility is decided
+/// up front instead of abandoning a half-finished fold).
+#[cfg(test)]
+fn exact_probability(
+    x: &MultiObsSeries,
+    y: &MultiObsSeries,
+    eps_sq: f64,
+    limit: usize,
+) -> Option<f64> {
+    let c = PairContribs::build(x, y);
+    if c.distinct_product > limit {
+        return None;
+    }
+    match exact_dp(&c, eps_sq, None) {
+        DpRun::Completed(p) => Some(p),
+        DpRun::Decided(_) => unreachable!("no decision threshold given"),
+    }
+}
+
+/// Fine-resolution binned shifts of every distinct squared difference
+/// (aligned with [`PairContribs::dvals`]), floor- and ceil-rounded.
+///
+/// Computed once per fold pipeline: every coarser power-of-two rung's
+/// shifts follow by pure integer arithmetic — `floor >> div_log` and
+/// `(ceil + R - 1) >> div_log` — exactly (the nesting property), so the
+/// per-element `d / width` divisions happen once, not once per rung and
+/// rounding mode.
+struct FineShifts {
+    floor: Vec<u32>,
+    ceil: Vec<u32>,
+}
+
+impl FineShifts {
+    fn build(c: &PairContribs, width: f64) -> Self {
+        let mut floor = Vec::with_capacity(c.dvals.len());
+        let mut ceil = Vec::with_capacity(c.dvals.len());
+        for &d in &c.dvals {
+            let raw = d / width;
+            // `d ≤ total_max = bins · width`, so both roundings fit u32.
+            floor.push(raw.floor() as u32);
+            ceil.push(raw.ceil() as u32);
+        }
+        Self { floor, ceil }
+    }
+
+    /// This timestamp's shifts, selected by rounding mode.
+    fn step(&self, c: &PairContribs, i: usize, ceil: bool) -> &[u32] {
+        let r = c.dstart[i]..c.dstart[i + 1];
+        if ceil {
+            &self.ceil[r]
+        } else {
+            &self.floor[r]
+        }
+    }
+}
+
+/// Per-decision fold state shared by every ladder rung: the fine shifts
+/// plus the two ping-pong window buffers, sized once to the finest cap
+/// so coarser rungs reuse prefixes instead of allocating.
+struct FoldCtx {
+    shifts: FineShifts,
+    w: Vec<f64>,
+    s: Vec<f64>,
+}
+
+/// Histogram-convolution bounds on `Pr(Σ Cᵢ ≤ ε²)`.
+///
+/// Maintains two histograms over `[0, total_max]`: one where every shift
+/// is rounded *down* a bin (stochastically dominated by the true sum ⇒
+/// upper bound on the CDF) and one rounded *up* (lower bound). The final
+/// CDF at `ε²` is read off both.
+fn convolve_probability_from(c: &PairContribs, eps_sq: f64, bins: usize) -> (f64, f64) {
+    let total_max = c.total_max;
+    if total_max == 0.0 {
+        // All samples identical: distance is exactly zero.
+        return if 0.0 <= eps_sq {
+            (1.0, 1.0)
+        } else {
+            (0.0, 0.0)
+        };
+    }
+    let width = total_max / bins as f64;
+    let eps_bin = ((eps_sq / width).floor() as usize).min(bins);
+    if eps_bin >= bins {
+        // The saturated top bin is inside the prefix, so mass parked
+        // there by the `.min(bins)` cap counts — fold the full
+        // histograms.
+        return convolve_saturated(c, eps_bin, width, bins);
+    }
+    // Only the prefix bins `[0, eps_bin]` are ever read, and binned
+    // shifts are non-negative integers — mass that leaves the prefix can
+    // never return. Folding just that window reproduces the full
+    // histograms' prefix bins *bit-identically* (same additions, same
+    // order), at `cap / bins` of the cost.
+    let cap = eps_bin + 1;
+    let mut wf = vec![0.0f64; cap];
+    let mut wc = vec![0.0f64; cap];
+    wf[0] = 1.0;
+    wc[0] = 1.0;
+    let mut sf = vec![0.0f64; cap];
+    let mut sc = vec![0.0f64; cap];
+    let (mut sup_f, mut sup_c) = (1usize, 1usize);
+    // Tightest-first order — the same order the decision pipeline folds
+    // in, so an abandoned decision that completes instead reproduces this
+    // fold's floating-point trajectory exactly. (Any order yields valid
+    // bounds; sharing one keeps decide ≡ estimate ≥ τ bit-for-bit.)
+    let shifts = FineShifts::build(c, width);
+    for &i in c.fold_order() {
+        let (_, dw) = c.step_distinct(i);
+        sup_f = fold_step(&wf, &mut sf, shifts.step(c, i, false), dw, 0, 0, sup_f);
+        std::mem::swap(&mut wf, &mut sf);
+        sup_c = fold_step(&wc, &mut sc, shifts.step(c, i, true), dw, 0, 0, sup_c);
+        std::mem::swap(&mut wc, &mut sc);
+    }
+    // Floored sums never exceed the true sums, so their CDF dominates the
+    // true CDF (upper bound); ceiled sums never fall below the true sums,
+    // so their CDF is dominated (lower bound). Both CDFs are read at the
+    // largest integer bin k with k·width ≤ ε².
+    // Bins past the occupied support are exact zeros — restricting the
+    // sums drops only `+0.0` terms.
+    let upper: f64 = wf[..sup_f].iter().sum();
+    let lower: f64 = wc[..sup_c].iter().sum();
+    (lower.clamp(0.0, 1.0), upper.clamp(0.0, 1.0))
+}
+
+/// Full-histogram convolution with shift saturation into the top bin —
+/// the historical fold, kept for the `eps_bin ≥ bins` case where the
+/// saturated bin lies inside the CDF prefix.
+fn convolve_saturated(c: &PairContribs, eps_bin: usize, width: f64, bins: usize) -> (f64, f64) {
+    let mut lo_hist = vec![0.0f64; bins + 1];
+    let mut hi_hist = vec![0.0f64; bins + 1];
+    lo_hist[0] = 1.0;
+    hi_hist[0] = 1.0;
+    let mut scratch = vec![0.0f64; bins + 1];
+    for i in 0..c.n {
+        let diffs = c.step_raw(i);
+        let p_each = c.p_each;
+        for (hist, ceil) in [(&mut lo_hist, false), (&mut hi_hist, true)] {
+            scratch.iter_mut().for_each(|v| *v = 0.0);
+            for &d in diffs {
+                let raw = d / width;
+                let shift = if ceil {
+                    raw.ceil() as usize
+                } else {
+                    raw.floor() as usize
+                };
+                for (k, &mass) in hist.iter().enumerate() {
+                    if mass > 0.0 {
+                        let idx = (k + shift).min(bins);
+                        scratch[idx] += mass * p_each;
+                    }
+                }
+            }
+            hist.copy_from_slice(&scratch);
+        }
+    }
+    let upper: f64 = lo_hist[..=eps_bin].iter().sum();
+    let lower: f64 = hi_hist[..=eps_bin].iter().sum();
+    (lower.clamp(0.0, 1.0), upper.clamp(0.0, 1.0))
+}
+
+/// One per-timestamp fold of a histogram window: adds every binned shift
+/// of `src` into `dst` (zeroed here), dropping mass that leaves the
+/// window (shifts are non-negative, so it can never return). Callers
+/// ping-pong two buffers through successive steps instead of copying.
+///
+/// The step's distribution arrives as precomputed *fine-resolution*
+/// integer shifts (see [`FineShifts`]) with the aggregated weights of
+/// [`PairContribs::step_distinct`]; this rung's shift is the pure
+/// integer map `(s + add) >> div_log` — exact by the power-of-two
+/// nesting property, so no per-element float division remains. Distinct
+/// values that land in the same bin at this resolution merge into a
+/// single weighted saxpy (their weights summing in ascending-value
+/// order), so coarse rungs fold far fewer passes than there are raw
+/// samples. Sortedness also makes the binned shifts monotone: the fold
+/// stops at the first shift past the window.
+///
+/// `src_support` bounds the occupied prefix of `src` (`src[src_support..]`
+/// is exactly zero); the return value is the same bound for `dst`.
+/// Restricting the shifted saxpys to the occupied prefix skips only
+/// exact `+0.0` terms, so the result is bit-identical to a full-window
+/// fold. Shared by the naive probability path, the decision pipeline,
+/// and the coarse ladder so their arithmetic stays identical.
+fn fold_step(
+    src: &[f64],
+    dst: &mut [f64],
+    shifts: &[u32],
+    dwts: &[f64],
+    add: u32,
+    div_log: u32,
+    src_support: usize,
+) -> usize {
+    let cap = src.len();
+    let eff = |s: u32| ((s + add) >> div_log) as usize;
+    // Occupied-prefix bound for `dst`: the largest in-window shift plus
+    // however much of `src`'s support it carries. Shifts are monotone
+    // over the sorted values, so scan from the top.
+    let mut dst_support = 0usize;
+    for &s in shifts.iter().rev() {
+        let shift = eff(s);
+        if shift < cap {
+            dst_support = shift + (cap - shift).min(src_support);
+            break;
+        }
+    }
+    // `dst` is the ping-pong partner: its stale occupied prefix is the
+    // support of two steps ago, which never exceeds `src_support`
+    // (support is monotone while any shift stays inside the window, and
+    // the dead-window case zeroes up to the old support here). Zeroing
+    // to the larger of the old and new supports therefore keeps every
+    // untouched bin an exact zero without re-zeroing the full window.
+    let zero_to = dst_support.max(src_support);
+    dst[..zero_to].iter_mut().for_each(|v| *v = 0.0);
+    let mut idx = 0usize;
+    while idx < shifts.len() {
+        let shift = eff(shifts[idx]);
+        if shift >= cap {
+            break; // this and every later destination is past the window
+        }
+        let mut weight = dwts[idx];
+        idx += 1;
+        while idx < shifts.len() && eff(shifts[idx]) == shift {
+            weight += dwts[idx];
+            idx += 1;
+        }
+        let len = (cap - shift).min(src_support);
+        // Shifted saxpy over disjoint slices: bounds-check-free and
+        // autovectorizable.
+        for (out, &inp) in dst[shift..shift + len].iter_mut().zip(src[..len].iter()) {
+            *out += inp * weight;
+        }
+    }
+    dst_support
+}
+
+/// Compatibility shim for the historical per-pair entry point (unit tests
+/// and ablation benches exercise it directly).
+#[cfg(test)]
+fn convolve_probability(
+    x: &MultiObsSeries,
+    y: &MultiObsSeries,
+    eps_sq: f64,
+    bins: usize,
+) -> (f64, f64) {
+    convolve_probability_from(&PairContribs::build(x, y), eps_sq, bins)
+}
+
+/// One left-to-right pass over a window, bounding its final prefix mass:
+/// returns `(upper, lower)` — the mass that can still end at or below
+/// `eps_bin` given at least `rem_min` more bins of rightward shift, and
+/// the mass that stays at or below it even after `rem_max` more.
+fn bound_masses(
+    window: &[f64],
+    eps_bin: usize,
+    rem_min: usize,
+    rem_max: usize,
+    support: usize,
+) -> (f64, f64) {
+    debug_assert!(rem_min <= rem_max);
+    let ub_end = if rem_min > eps_bin {
+        0
+    } else {
+        eps_bin - rem_min + 1
+    };
+    let lb_end = if rem_max > eps_bin {
+        0
+    } else {
+        eps_bin - rem_max + 1
+    };
+    // Bins past the occupied support are exactly zero — truncating the
+    // scan drops only +0.0 terms. Two branch-free partial sums keep the
+    // scans autovectorizable; the re-association drift in `ub` (vs one
+    // running sum) is far below [`DECISION_MARGIN`], and every consumer
+    // of these bounds is margin-guarded.
+    let scan = ub_end.min(support);
+    let cut = lb_end.min(scan);
+    let head: f64 = window[..cut].iter().sum();
+    let tail: f64 = window[cut..scan].iter().sum();
+    let lb = if lb_end > 0 { head } else { 0.0 };
+    (head + tail, lb)
+}
+
+/// How a windowed decision fold's masses relate to the naive estimate.
+#[derive(Clone, Copy)]
+enum FoldMode {
+    /// Naive resolution: the window holds the naive histograms' prefix
+    /// bins bit-for-bit, so completing the fold yields the naive
+    /// estimate exactly.
+    Exact,
+    /// Coarser-than-naive resolution (`bins` a power-of-two multiple of
+    /// this rung's bin count): the floor/ceil prefix masses *contain*
+    /// the naive bracket — see [`convolve_decide`] — so they bound the
+    /// naive estimate but cannot reproduce it.
+    Bracket,
+}
+
+/// Outcome of one windowed decision fold.
+enum FoldRun {
+    /// The running (or completed) bounds cleared τ by more than
+    /// [`DECISION_MARGIN`]; the naive decision is this value.
+    Decided(bool),
+    /// The fold completed without clearing τ. In [`FoldMode::Exact`] the
+    /// payload is the naive `(lower, upper)` prefix mass pair; in
+    /// [`FoldMode::Bracket`] it only brackets them (caller escalates).
+    Undecided(f64, f64),
+}
+
+/// One windowed floor/ceil convolution fold with per-timestamp
+/// early-abandonment, at an arbitrary bin width.
+///
+/// Two exact structural facts make the abandonment rigorous:
+///
+/// * **Binned shifts are non-negative integers**, so mass only ever
+///   moves right and mass beyond `eps_bin` can never return: folding
+///   just the `[0, eps_bin]` window reproduces the full histograms'
+///   prefix bins bit-identically.
+/// * **Integer suffix bounds on the remaining shifts** bracket where the
+///   window mass can end up, so running lower/upper bounds on the final
+///   prefix masses are available after every timestamp; the fold
+///   abandons once they clear τ by more than [`DECISION_MARGIN`] (which
+///   dominates the ≲1e-12 mass drift of the remaining folds).
+///
+/// Timestamps fold tightest-first ([`PairContribs::fold_order`] — the
+/// same order [`convolve_probability_from`] uses), pushing mass out of
+/// the window as fast as possible so hopeless candidates abandon early.
+///
+/// The two histograms fold *sequentially*, not interleaved: the ceil
+/// prefix never exceeds the floor prefix (ceil shifts dominate floor
+/// shifts pointwise), so a reject only ever needs the floor histogram
+/// (`est ≤ hi_F`) and an accept only the ceil one (`est ≥ lo_F`). The
+/// `hint_reject` side folds first; when its single-sided test fires the
+/// other histogram is never touched — half the fold cost on every
+/// clearly-in / clearly-out pair. If the first fold completes
+/// undecided, the second folds with *combined* tests that reuse the
+/// first's exact sum.
+fn windowed_fold(
+    c: &PairContribs,
+    ctx: &mut FoldCtx,
+    div_log: u32,
+    eps_bin: usize,
+    tau: f64,
+    mode: FoldMode,
+    hint_reject: bool,
+) -> FoldRun {
+    let n = c.n;
+    let cap = eps_bin + 1;
+    let order = c.fold_order();
+    // Ceil rounding at this rung is `(fine_ceil + R - 1) >> div_log`
+    // (exact by the nesting property); floor is a plain shift.
+    let add = (1u32 << div_log) - 1;
+    // Suffix sums of the per-timestamp integer shift bounds in fold
+    // order, one pair per rounding mode: [floor_min, floor_max, ceil_min,
+    // ceil_max], each saturated at `cap` (a shift past the window is
+    // simply "gone"). The per-step extremes are the first and last fine
+    // shifts — `dvals` is sorted per timestamp.
+    let mut suffix = vec![[0usize; 4]; n + 1];
+    for t in (0..n).rev() {
+        let i = order[t];
+        let (first, last) = (c.dstart[i], c.dstart[i + 1] - 1);
+        let step = [
+            (ctx.shifts.floor[first] >> div_log) as usize,
+            (ctx.shifts.floor[last] >> div_log) as usize,
+            ((ctx.shifts.ceil[first] + add) >> div_log) as usize,
+            ((ctx.shifts.ceil[last] + add) >> div_log) as usize,
+        ];
+        let prev = suffix[t + 1];
+        let mut cur = [0usize; 4];
+        for (slot, (p, s)) in cur.iter_mut().zip(prev.iter().zip(step.iter())) {
+            *slot = (p + s).min(cap);
+        }
+        suffix[t] = cur;
+    }
+    // Whole-query shortcuts before any allocation. All mass starts at
+    // bin 0, so the suffix bounds at step 0 bracket the entire fold.
+    if suffix[0][0] > eps_bin {
+        // Even the floor-rounded histogram (the smaller shifts) pushes
+        // every unit of mass past ε²: this rung's floor prefix is exactly
+        // zero, and the naive upper bound never exceeds it.
+        return FoldRun::Decided(false);
+    }
+    if suffix[0][3] <= eps_bin && tau <= 1.0 - DECISION_MARGIN {
+        // Even ceil-rounding keeps all mass inside the window: the ceil
+        // prefix equals the total mass, which drifts from 1 only by
+        // p_each round-off (≪ margin), and the naive lower bound
+        // dominates it. τ = 1 edge cases escalate to the exact fold.
+        return FoldRun::Decided(true);
+    }
+    let FoldCtx { shifts, w, s } = ctx;
+    // Completed single-histogram sums (floor = naive upper bound hi_F,
+    // ceil = naive lower bound lo_F), filled in as each fold finishes.
+    let mut floor_sum: Option<f64> = None;
+    let mut ceil_sum: Option<f64> = None;
+    let sides = if hint_reject {
+        [false, true]
+    } else {
+        [true, false]
+    };
+    for do_ceil in sides {
+        // Both buffers restart exactly zero so the support-aware partial
+        // zeroing inside `fold_step` never exposes a stale bin (they are
+        // shared across the whole ladder).
+        w[..cap].fill(0.0);
+        s[..cap].fill(0.0);
+        w[0] = 1.0;
+        let side_add = if do_ceil { add } else { 0 };
+        let mut sup = 1usize;
+        for (t, &i) in order.iter().enumerate() {
+            let (_, dw) = c.step_distinct(i);
+            sup = fold_step(
+                &w[..cap],
+                &mut s[..cap],
+                shifts.step(c, i, do_ceil),
+                dw,
+                side_add,
+                div_log,
+                sup,
+            );
+            std::mem::swap(w, s);
+            // Bounding the final prefix costs a window scan; every 4th
+            // step keeps that overhead at a quarter while delaying an
+            // abandonment by at most three fold steps. The checks are
+            // optional accelerators — completion is exact regardless of
+            // which steps test.
+            if t % 4 != 3 {
+                continue;
+            }
+            let rem = suffix[t + 1];
+            // Bracket this histogram's final prefix mass: mass needing
+            // more shift than the window affords is certainly gone; mass
+            // that cannot be pushed out even by the maximum remaining
+            // shift certainly stays.
+            let (rmn, rmx) = if do_ceil {
+                (rem[2], rem[3])
+            } else {
+                (rem[0], rem[1])
+            };
+            let (ub, lb) = bound_masses(w, eps_bin, rmn, rmx, sup);
+            if do_ceil {
+                // Accept side: est ≥ lo_F ≥ lb (Exact) and
+                // est ≥ lo_F ≥ lo_C ≥ lb (Bracket rung). With the floor
+                // sum already known exactly, the Exact bound tightens to
+                // the naive midpoint.
+                let est_lo = match (mode, floor_sum) {
+                    (FoldMode::Exact, Some(hi)) => 0.5 * (lb.min(1.0) + hi),
+                    _ => lb.min(1.0),
+                };
+                if est_lo - DECISION_MARGIN >= tau {
+                    return FoldRun::Decided(true);
+                }
+                if let (FoldMode::Exact, Some(hi)) = (mode, floor_sum) {
+                    let est_hi = 0.5 * (ub.min(1.0) + hi);
+                    if est_hi + DECISION_MARGIN < tau {
+                        return FoldRun::Decided(false);
+                    }
+                }
+            } else {
+                // Reject side: est ≤ hi_F ≤ ub (Exact) and
+                // est ≤ hi_C ≤ ub (Bracket rung — lo_C says nothing
+                // about hi_F, so only this side can reject).
+                let est_hi = match (mode, ceil_sum) {
+                    (FoldMode::Exact, Some(lo)) => 0.5 * (ub.min(1.0) + lo),
+                    _ => ub.min(1.0),
+                };
+                if est_hi + DECISION_MARGIN < tau {
+                    return FoldRun::Decided(false);
+                }
+                if let (FoldMode::Exact, Some(lo)) = (mode, ceil_sum) {
+                    let est_lo = 0.5 * (lb.min(1.0) + lo);
+                    if est_lo - DECISION_MARGIN >= tau {
+                        return FoldRun::Decided(true);
+                    }
+                }
+            }
+        }
+        // Bins past the support are exact zeros — restricting the sum
+        // drops only `+0.0` terms.
+        let total: f64 = w[..sup].iter().sum::<f64>();
+        let total = total.clamp(0.0, 1.0);
+        if do_ceil {
+            // est ≥ lo_F: a completed ceil fold that clears τ decides
+            // without ever folding the floor histogram.
+            if total - DECISION_MARGIN >= tau {
+                return FoldRun::Decided(true);
+            }
+            ceil_sum = Some(total);
+        } else {
+            // est ≤ hi_F: symmetric single-sided reject.
+            if total + DECISION_MARGIN < tau {
+                return FoldRun::Decided(false);
+            }
+            floor_sum = Some(total);
+        }
+    }
+    // Neither side decided: return the exact (lo_F, hi_F) pair at this
+    // width. Exact callers compare the naive midpoint estimate; Bracket
+    // callers escalate to a finer rung.
+    FoldRun::Undecided(
+        ceil_sum.expect("both sides resolved"),
+        floor_sum.expect("both sides resolved"),
+    )
+}
+
+/// Convolution-strategy PRQ decision:
+/// `convolve_probability_from(c, ε², bins) → 0.5·(lo + hi) ≥ τ` without
+/// (usually) folding at full resolution.
+///
+/// A coarse-to-fine ladder runs [`windowed_fold`] at `bins/16` and
+/// `bins/4` bins before paying for the naive resolution. The coarse
+/// brackets are rigorous because coarse and fine rounding *nest* when the
+/// bin counts are powers of two: the widths then satisfy `w_C = R·w_F`
+/// exactly (divisions by powers of two only shift the exponent), so each
+/// per-sample ratio obeys `d/w_C = (d/w_F)/R` bit-exactly, and
+/// `⌊q/R⌋`-arithmetic gives, per materialisation with fine floor/ceil
+/// sums `F`/`Fc` and coarse sums `G`/`Gc`:
+///
+/// * `G ≤ F/R`, so `F ≤ E_F ⇒ G ≤ ⌊E_F/R⌋ = E_C` — the coarse floor
+///   prefix **dominates** the naive upper bound `hi_F`;
+/// * `Gc ≥ Fc/R`, so `Gc ≤ E_C ⇒ Fc ≤ R·E_C ≤ E_F` — the coarse ceil
+///   prefix is **dominated by** the naive lower bound `lo_F`.
+///
+/// Hence `lo_C ≤ lo_F ≤ estimate ≤ hi_F ≤ hi_C`: a coarse rung whose
+/// bracket clears τ decides exactly as the naive estimate would, at
+/// `1/R` of the fold cost. Pairs whose coarse bracket straddles τ
+/// escalate; the final rung folds at naive resolution in the naive fold
+/// order, so completing it *is* the naive decision bit-for-bit.
+fn convolve_decide(c: &PairContribs, eps_sq: f64, tau: f64, bins: usize) -> bool {
+    debug_assert!(tau > 0.0, "τ ≤ 0 is decided before refinement");
+    let total_max = c.total_max;
+    if total_max == 0.0 {
+        // Naive bounds are (1, 1): estimate 1 ≥ τ for every valid τ.
+        return true;
+    }
+    let width = total_max / bins as f64;
+    let eps_bin = ((eps_sq / width).floor() as usize).min(bins);
+    if eps_bin >= bins {
+        // ε² spans the whole sum range: the naive prefix covers both
+        // entire (saturated) histograms, so the estimate is 1 up to
+        // ≪ margin fold drift. Only a τ within the margin of 1 needs the
+        // full saturated computation.
+        if tau <= 1.0 - DECISION_MARGIN {
+            return true;
+        }
+        let (lo, hi) = convolve_probability_from(c, eps_sq, bins);
+        return 0.5 * (lo + hi) >= tau;
+    }
+    // Shared fold state for the whole ladder: fine shifts computed once
+    // (coarser rungs derive theirs by integer arithmetic) and ping-pong
+    // buffers sized to the finest cap.
+    let mut ctx = FoldCtx {
+        shifts: FineShifts::build(c, width),
+        w: vec![0.0f64; eps_bin + 1],
+        s: vec![0.0f64; eps_bin + 1],
+    };
+    // Which histogram to fold first at each stage: until a completed
+    // bracket locates the estimate, guess from where ε² sits between the
+    // summed per-step shift extremes (below the midpoint → the sum
+    // likely exceeds ε² → reject side first). Pure cost heuristic —
+    // both orders reach the same decision.
+    let mut hint_reject = {
+        let (mut smin, mut smax) = (0u64, 0u64);
+        for i in 0..c.n {
+            smin += u64::from(ctx.shifts.floor[c.dstart[i]]);
+            smax += u64::from(ctx.shifts.ceil[c.dstart[i + 1] - 1]);
+        }
+        (eps_bin as u64) * 2 < smin + smax
+    };
+    if bins.is_power_of_two() {
+        // The nesting argument needs exact power-of-two width ratios.
+        let mut bracket: Option<(usize, f64, f64)> = None;
+        for div_log in [3u32, 2, 1] {
+            let coarse = bins >> div_log;
+            // A rung needs enough resolution to say anything: the
+            // floor/ceil bracket is n bins wide at any resolution, so a
+            // rung with fewer bins than ~2n is vacuous for every pair.
+            if coarse < 64 || coarse < 2 * c.n {
+                continue;
+            }
+            if let Some((b0, lo, hi)) = bracket {
+                // The bracket narrows ~linearly with bin count. If τ sits
+                // deeper inside the completed coarser bracket than half
+                // this rung's projected width, the rung will straddle τ
+                // too — skip straight to a finer one. (Pure cost
+                // heuristic: rungs only ever decide conservatively.)
+                let projected = (hi - lo) * b0 as f64 / coarse as f64;
+                if (0.5 * (lo + hi) - tau).abs() < 0.4 * projected {
+                    continue;
+                }
+            }
+            let rung = windowed_fold(
+                c,
+                &mut ctx,
+                div_log,
+                eps_bin >> div_log,
+                tau,
+                FoldMode::Bracket,
+                hint_reject,
+            );
+            match rung {
+                FoldRun::Decided(hit) => return hit,
+                FoldRun::Undecided(lo, hi) => {
+                    hint_reject = 0.5 * (lo + hi) < tau;
+                    bracket = Some((coarse, lo, hi));
+                }
+            }
+        }
+    }
+    match windowed_fold(c, &mut ctx, 0, eps_bin, tau, FoldMode::Exact, hint_reject) {
+        FoldRun::Decided(hit) => hit,
+        // Completed: the windows held the naive histograms' prefix bins
+        // bit-for-bit, so this is the naive decision exactly.
+        FoldRun::Undecided(lower, upper) => 0.5 * (lower + upper) >= tau,
+    }
 }
 
 /// Minimal-bounding-interval bounds on the squared Euclidean distance over
@@ -454,123 +1549,6 @@ fn materialize_into<R: Rng + ?Sized>(m: &MultiObsSeries, rng: &mut R, out: &mut 
     for (i, slot) in out.iter_mut().enumerate() {
         *slot = m.row(i)[rng.gen_range(0..s)];
     }
-}
-
-/// Exact probability via DP over the support of partial sums.
-///
-/// The partial-sum support after step `i` has at most `∏ (s_x s_y)`
-/// distinct values; we sort-merge values that are exactly equal and give
-/// up (returning `None`) when the support exceeds `limit`.
-fn exact_probability(
-    x: &MultiObsSeries,
-    y: &MultiObsSeries,
-    eps_sq: f64,
-    limit: usize,
-) -> Option<f64> {
-    // support: sorted (sum, probability) pairs.
-    let mut support: Vec<(f64, f64)> = vec![(0.0, 1.0)];
-    for i in 0..x.len() {
-        let diffs = pairwise_sq_diffs(x, y, i);
-        let p_each = 1.0 / diffs.len() as f64;
-        if support.len() * diffs.len() > limit {
-            return None;
-        }
-        let mut next: Vec<(f64, f64)> = Vec::with_capacity(support.len() * diffs.len());
-        for &(sum, p) in &support {
-            for &d in &diffs {
-                next.push((sum + d, p * p_each));
-            }
-        }
-        next.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite sums"));
-        // Merge exact duplicates (common with symmetric samples).
-        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(next.len());
-        for (v, p) in next {
-            match merged.last_mut() {
-                Some((lv, lp)) if *lv == v => *lp += p,
-                _ => merged.push((v, p)),
-            }
-        }
-        support = merged;
-    }
-    let p: f64 = support
-        .iter()
-        .take_while(|(v, _)| *v <= eps_sq)
-        .map(|(_, p)| p)
-        .sum();
-    Some(p.clamp(0.0, 1.0))
-}
-
-/// Histogram-convolution bounds on `Pr(Σ Cᵢ ≤ ε²)`.
-///
-/// Maintains two histograms over `[0, total_max]`: one where every shift
-/// is rounded *down* a bin (stochastically dominated by the true sum ⇒
-/// upper bound on the CDF) and one rounded *up* (lower bound). The final
-/// CDF at `ε²` is read off both.
-fn convolve_probability(
-    x: &MultiObsSeries,
-    y: &MultiObsSeries,
-    eps_sq: f64,
-    bins: usize,
-) -> (f64, f64) {
-    let n = x.len();
-    // Total range of the sum.
-    let mut total_max = 0.0;
-    for i in 0..n {
-        let mx = pairwise_sq_diffs(x, y, i)
-            .into_iter()
-            .fold(0.0f64, f64::max);
-        total_max += mx;
-    }
-    if total_max == 0.0 {
-        // All samples identical: distance is exactly zero.
-        return if 0.0 <= eps_sq {
-            (1.0, 1.0)
-        } else {
-            (0.0, 0.0)
-        };
-    }
-    let width = total_max / bins as f64;
-    // lo_hist[k]: mass with true sum ≥ k·width (shift floored).
-    let mut lo_hist = vec![0.0f64; bins + 1];
-    let mut hi_hist = vec![0.0f64; bins + 1];
-    lo_hist[0] = 1.0;
-    hi_hist[0] = 1.0;
-    let mut scratch = vec![0.0f64; bins + 1];
-    for i in 0..n {
-        let diffs = pairwise_sq_diffs(x, y, i);
-        let p_each = 1.0 / diffs.len() as f64;
-        // Bin shifts (floor for the dominated version, ceil for the
-        // dominating one).
-        for (hist, ceil) in [(&mut lo_hist, false), (&mut hi_hist, true)] {
-            scratch.iter_mut().for_each(|v| *v = 0.0);
-            for &d in &diffs {
-                let raw = d / width;
-                let shift = if ceil {
-                    raw.ceil() as usize
-                } else {
-                    raw.floor() as usize
-                };
-                for (k, &mass) in hist.iter().enumerate() {
-                    if mass > 0.0 {
-                        let idx = (k + shift).min(bins);
-                        scratch[idx] += mass * p_each;
-                    }
-                }
-            }
-            hist.copy_from_slice(&scratch);
-        }
-    }
-    // CDF at eps_sq: floored sums under-estimate the true sums, so their
-    // CDF dominates (upper bound); ceiled sums give the lower bound.
-    let bin_of = |v: f64| ((v / width).floor() as usize).min(bins);
-    let eps_bin = bin_of(eps_sq);
-    // Floored sums never exceed the true sums, so their CDF dominates the
-    // true CDF (upper bound); ceiled sums never fall below the true sums,
-    // so their CDF is dominated (lower bound). Both CDFs are read at the
-    // largest integer bin k with k·width ≤ ε².
-    let upper: f64 = lo_hist[..=eps_bin].iter().sum();
-    let lower: f64 = hi_hist[..=eps_bin].iter().sum();
-    (lower.clamp(0.0, 1.0), upper.clamp(0.0, 1.0))
 }
 
 #[cfg(test)]
@@ -799,5 +1777,129 @@ mod unit {
         let a = MultiObsSeries::from_rows(vec![vec![0.0]]);
         let b = MultiObsSeries::from_rows(vec![vec![0.0], vec![1.0]]);
         let _ = Munich::default().probability_bounds(&a, &b, 1.0);
+    }
+
+    // ---------------------------------------------------------------
+    // Decision pipeline: decide_within must equal matches, always
+    // ---------------------------------------------------------------
+
+    fn decision_taus(p: f64) -> Vec<f64> {
+        vec![
+            0.0,
+            1e-9,
+            0.25,
+            (p - 1e-12).clamp(0.0, 1.0),
+            p.clamp(0.0, 1.0),
+            (p + 1e-12).clamp(0.0, 1.0),
+            0.5,
+            0.999,
+            1.0,
+        ]
+    }
+
+    #[test]
+    fn decide_within_equals_matches_for_every_strategy() {
+        let strategies = [
+            MunichStrategy::Exact,
+            MunichStrategy::Convolution { bins: 1024 },
+            MunichStrategy::MonteCarlo { samples: 4000 },
+            MunichStrategy::Auto,
+        ];
+        for (seed, n, s) in [(12, 5, 3), (13, 6, 2), (14, 4, 4), (15, 7, 1)] {
+            let (x, y) = small_pair(seed, n, s);
+            for strategy in strategies {
+                let munich = Munich::new(MunichConfig {
+                    strategy,
+                    ..MunichConfig::default()
+                });
+                for eps in [0.0, 0.3, 0.7, 1.1, 1.9, 3.0, 10.0] {
+                    let p = munich.probability_within(&x, &y, eps);
+                    for tau in decision_taus(p) {
+                        assert_eq!(
+                            munich.decide_within(&x, &y, eps, tau),
+                            munich.matches(&x, &y, eps, tau),
+                            "{strategy:?} seed={seed} ε={eps} τ={tau} p={p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decide_exercises_infeasible_exact_fallback() {
+        // 8 timestamps × 16 distinct diffs: the exact DP is infeasible at
+        // the tiny limit, so Auto decides through the convolution path —
+        // still in lockstep with the naive estimate.
+        let (x, y) = small_pair(16, 8, 4);
+        let munich = Munich::new(MunichConfig {
+            exact_support_limit: 100,
+            ..MunichConfig::default()
+        });
+        for eps in [0.5, 1.5, 2.5, 4.0] {
+            let p = munich.probability_within(&x, &y, eps);
+            for tau in decision_taus(p) {
+                assert_eq!(
+                    munich.decide_within(&x, &y, eps, tau),
+                    munich.matches(&x, &y, eps, tau),
+                    "ε={eps} τ={tau} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enveloped_decision_equals_pairwise() {
+        let (x, y) = small_pair(17, 5, 3);
+        let ex = MbiEnvelope::build(&x);
+        let ey = MbiEnvelope::build(&y);
+        let munich = Munich::default();
+        for eps in [0.2, 0.9, 1.7, 4.0] {
+            for tau in [0.0, 0.3, 0.6, 1.0] {
+                assert_eq!(
+                    munich.matches_enveloped(&x, &y, eps, tau, &ex, &ey),
+                    munich.decide_within(&x, &y, eps, tau),
+                    "ε={eps} τ={tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decide_without_filter_still_equals_matches() {
+        let (x, y) = small_pair(18, 5, 3);
+        let munich = Munich::new(MunichConfig {
+            use_mbi_filter: false,
+            ..MunichConfig::default()
+        });
+        for eps in [0.0, 0.6, 1.4, 6.0] {
+            let p = munich.probability_within(&x, &y, eps);
+            for tau in decision_taus(p) {
+                assert_eq!(
+                    munich.decide_within(&x, &y, eps, tau),
+                    munich.matches(&x, &y, eps, tau),
+                    "ε={eps} τ={tau} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn try_apis_report_typed_errors() {
+        let a = MultiObsSeries::from_rows(vec![vec![0.0]]);
+        let b = MultiObsSeries::from_rows(vec![vec![0.0], vec![1.0]]);
+        let munich = Munich::default();
+        let err = munich.try_probability_bounds(&a, &b, 1.0).unwrap_err();
+        assert_eq!(err, MunichError::LengthMismatch { x: 1, y: 2 });
+        assert!(err.to_string().contains("equal-length"));
+        let err = munich.try_decide_within(&a, &a, -1.0, 0.5).unwrap_err();
+        assert_eq!(err, MunichError::InvalidEpsilon(-1.0));
+        let err = munich.try_decide_within(&a, &a, 1.0, 1.5).unwrap_err();
+        assert_eq!(err, MunichError::InvalidTau(1.5));
+        // NaN thresholds are invalid, not silently accepted.
+        assert!(munich.try_decide_within(&a, &a, f64::NAN, 0.5).is_err());
+        assert!(munich.try_decide_within(&a, &a, 1.0, f64::NAN).is_err());
+        // The valid case still answers.
+        assert_eq!(munich.try_decide_within(&a, &a, 1.0, 0.5), Ok(true));
     }
 }

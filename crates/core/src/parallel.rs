@@ -1,0 +1,57 @@
+//! Minimal scoped-thread parallelism for embarrassingly parallel scans.
+//!
+//! Lives in uts-core so the query engine's MUNICH refinement can fan
+//! surviving candidates over all cores; the experiment runner re-exports
+//! it for its figure sweeps.
+
+/// Parallel map over a slice with scoped threads; preserves order.
+/// Falls back to sequential for tiny inputs.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    if workers <= 1 || items.len() < 4 {
+        return items.iter().map(&f).collect();
+    }
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_ref = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                let mut guard = results_ref.lock().expect("no poisoned workers");
+                guard[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_every_item() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = parallel_map(&items, |&v| v * 2);
+        assert_eq!(out, items.iter().map(|&v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_tiny_and_empty_inputs() {
+        let empty: Vec<u8> = vec![];
+        assert!(parallel_map(&empty, |&v| v).is_empty());
+        assert_eq!(parallel_map(&[7u8], |&v| v + 1), vec![8]);
+    }
+}

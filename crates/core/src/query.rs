@@ -138,7 +138,9 @@ impl ProbabilisticRangeQuery {
             .collect()
     }
 
-    /// Evaluates the PRQ with MUNICH over multi-observation series.
+    /// Evaluates the PRQ with MUNICH over multi-observation series,
+    /// through the pruned decision pipeline ([`Munich::decide_within`] —
+    /// same answers as [`Munich::matches`], usually far cheaper).
     pub fn evaluate_munich(
         &self,
         munich: &Munich,
@@ -148,7 +150,7 @@ impl ProbabilisticRangeQuery {
         collection
             .iter()
             .enumerate()
-            .filter(|(_, s)| munich.matches(query, s, self.epsilon, self.tau))
+            .filter(|(_, s)| munich.decide_within(query, s, self.epsilon, self.tau))
             .map(|(i, _)| i)
             .collect()
     }

@@ -251,6 +251,125 @@ fn ground_truth_bit_identical_across_workloads() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// MUNICH boundary workloads: the pruned decision pipeline at the edges
+// ---------------------------------------------------------------------------
+
+/// A short MUNICH workload whose members carry *different* sample counts
+/// (`s = 1 + i mod 3`): every query pairs series with `s_x ≠ s_y`, and
+/// the `s = 1` members degenerate to certain series. Series are short
+/// enough that the exact DP is always feasible, so Exact/Auto probe the
+/// abandonment arithmetic, not the convolution fallback.
+fn munich_boundary_task(seed: u64) -> MatchingTask {
+    let root = Seed::new(seed);
+    let n = 9;
+    let len = 6;
+    let clean: Vec<TimeSeries> = (0..n)
+        .map(|i| {
+            TimeSeries::from_values((0..len).map(|t| ((t as f64) / 2.0 + i as f64 * 0.7).sin()))
+        })
+        .collect();
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, 0.5);
+    let uncertain: Vec<UncertainSeries> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, c)| perturb(c, &spec, root.derive("pdf").derive_u64(i as u64)))
+        .collect();
+    let multi: Vec<MultiObsSeries> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            perturb_multi(
+                c,
+                &spec,
+                1 + i % 3,
+                root.derive("multi").derive_u64(i as u64),
+            )
+        })
+        .collect();
+    MatchingTask::new(clean, uncertain, Some(multi), 3)
+}
+
+fn munich_boundary_strategies() -> Vec<uts_core::munich::MunichStrategy> {
+    use uts_core::munich::MunichStrategy;
+    vec![
+        MunichStrategy::Exact,
+        MunichStrategy::Convolution { bins: 1024 },
+        MunichStrategy::MonteCarlo { samples: 3000 },
+        MunichStrategy::Auto,
+    ]
+}
+
+/// MUNICH boundary τ values: the closed ends of the valid range, plus τ
+/// sitting *exactly* on each candidate's probability (`count / total` of
+/// the materialisation enumeration) — where `p ≥ τ` flips on the last
+/// ulp and any early-abandonment slop would show. Engine answer sets
+/// must stay bit-identical to the naive path through all of them.
+#[test]
+fn munich_boundary_taus_bit_identical() {
+    use uts_core::munich::MunichConfig;
+    for seed in [0x0D01_u64, 0x0D02, 0x0D03] {
+        let task = munich_boundary_task(seed);
+        for strategy in munich_boundary_strategies() {
+            let munich = Munich::new(MunichConfig {
+                strategy,
+                ..MunichConfig::default()
+            });
+            let probe = Technique::Munich { munich, tau: 0.4 };
+            for q in probe_queries(&task) {
+                let eps = task.calibrated_threshold(q, &probe);
+                // Exact per-candidate probabilities (count/total values).
+                let probs = task
+                    .probabilities_naive(q, &probe, eps)
+                    .expect("MUNICH is probabilistic");
+                let mut taus = vec![0.0, 1.0];
+                taus.extend(probs.iter().map(|&(_, p)| p.clamp(0.0, 1.0)));
+                for tau in taus {
+                    let technique = Technique::Munich { munich, tau };
+                    let engine = QueryEngine::prepare(&task, &technique);
+                    assert_eq!(
+                        engine.answer_set(q, eps),
+                        task.answer_set_naive(q, &technique, eps),
+                        "seed={seed:#x} {strategy:?} q={q} τ={tau}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Mixed sample counts and single-sample members: answer sets and
+/// probabilities engine vs naive, across ε scales (sparse through
+/// dense).
+#[test]
+fn munich_mixed_sample_counts_bit_identical() {
+    let task = munich_boundary_task(0x0D04);
+    let technique = Technique::Munich {
+        munich: Munich::default(),
+        tau: 0.4,
+    };
+    let engine = QueryEngine::prepare(&task, &technique);
+    for q in 0..task.len() {
+        let eps = task.calibrated_threshold(q, &technique);
+        for scale in [0.25, 0.5, 1.0, 2.0, 4.0] {
+            let e = eps * scale;
+            assert_eq!(
+                engine.answer_set(q, e),
+                task.answer_set_naive(q, &technique, e),
+                "q={q} eps={e}"
+            );
+        }
+        let fast = engine.probabilities(q, eps).expect("probabilistic");
+        let naive = task
+            .probabilities_naive(q, &technique, eps)
+            .expect("probabilistic");
+        for (a, b) in fast.iter().zip(&naive) {
+            assert_eq!(a.0, b.0, "q={q}");
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "q={q} cand={}", a.0);
+        }
+    }
+}
+
 /// The full §4.1.2 protocol through the shared engine equals the naive
 /// per-query pipeline (ground truth → calibrate → answer → score).
 #[test]

@@ -1,0 +1,138 @@
+//! Strategy-ladder coherence for MUNICH, property-tested over random
+//! multi-observation pairs.
+//!
+//! The ladder's contract (module docs of `uts_core::munich`): Exact is
+//! ground truth; Convolution's `[lo, hi]` must bracket it; MonteCarlo
+//! lands within a seeded tolerance; Auto never disagrees with Exact while
+//! the support limit permits exact DP; and the pruned decision pipeline
+//! (`decide_within`) equals the reference decision (`matches`) for every
+//! strategy, ε, and τ — including τ sitting exactly on the computed
+//! probability.
+
+use proptest::prelude::*;
+use uts_core::munich::{Munich, MunichConfig, MunichStrategy};
+use uts_uncertain::MultiObsSeries;
+
+/// Carves `n` rows of `s` samples out of a flat value pool.
+fn carve(pool: &[f64], n: usize, s: usize) -> MultiObsSeries {
+    MultiObsSeries::from_rows((0..n).map(|i| pool[i * s..(i + 1) * s].to_vec()).collect())
+}
+
+/// Equal-length pair with (possibly) different sample counts per side —
+/// MUNICH supports `s_x ≠ s_y`, and the cross-product arithmetic must
+/// not care. Values stay in a modest range so ε sweeps hit both tails
+/// and the interior. (The vendored proptest has no flat-map, so sizes
+/// and a sufficiently large value pool are drawn together and the rows
+/// carved out in `prop_map`.)
+fn pair() -> impl Strategy<Value = (MultiObsSeries, MultiObsSeries)> {
+    (
+        2usize..6,
+        1usize..4,
+        1usize..4,
+        prop::collection::vec(-3.0..3.0f64, 30),
+    )
+        .prop_map(|(n, sx, sy, pool)| (carve(&pool, n, sx), carve(&pool[15..], n, sy)))
+}
+
+/// A limit generous enough that every generated pair stays exactly
+/// feasible: at most (4·4)⁶ ≈ 1.7e7 distinct partial sums.
+const FEASIBLE_LIMIT: usize = 20_000_000;
+
+fn munich_with(strategy: MunichStrategy) -> Munich {
+    Munich::new(MunichConfig {
+        strategy,
+        exact_support_limit: FEASIBLE_LIMIT,
+        ..MunichConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Convolution's rigorous bounds bracket the exact probability, and
+    /// the midpoint estimate stays within the interval width of truth.
+    #[test]
+    fn convolution_brackets_exact((x, y) in pair(), eps in 0.0..6.0f64) {
+        let exact = munich_with(MunichStrategy::Exact);
+        let conv = munich_with(MunichStrategy::Convolution { bins: 2048 });
+        let truth = exact.probability_within(&x, &y, eps);
+        let b = conv.probability_bounds(&x, &y, eps);
+        prop_assert!(b.lo <= b.hi + 1e-12);
+        prop_assert!(
+            b.lo <= truth + 1e-9 && truth <= b.hi + 1e-9,
+            "bounds [{}, {}] miss exact {}", b.lo, b.hi, truth
+        );
+        prop_assert!((b.estimate() - truth).abs() <= 0.5 * b.width() + 1e-9);
+    }
+
+    /// The seeded Monte-Carlo estimator lands inside a fixed tolerance of
+    /// the exact probability (10k samples → σ ≤ 0.005; 0.05 gives 10σ).
+    #[test]
+    fn monte_carlo_within_seeded_tolerance((x, y) in pair(), eps in 0.0..6.0f64) {
+        let exact = munich_with(MunichStrategy::Exact);
+        let mc = munich_with(MunichStrategy::MonteCarlo { samples: 10_000 });
+        let truth = exact.probability_within(&x, &y, eps);
+        let est = mc.probability_within(&x, &y, eps);
+        prop_assert!(
+            (truth - est).abs() < 0.05,
+            "exact {} vs MC {}", truth, est
+        );
+    }
+
+    /// While the support limit permits exact DP, Auto IS Exact — to the
+    /// bit.
+    #[test]
+    fn auto_never_disagrees_with_feasible_exact((x, y) in pair(), eps in 0.0..6.0f64) {
+        let exact = munich_with(MunichStrategy::Exact);
+        let auto = munich_with(MunichStrategy::Auto);
+        let a = auto.probability_within(&x, &y, eps);
+        let e = exact.probability_within(&x, &y, eps);
+        prop_assert_eq!(a.to_bits(), e.to_bits(), "auto {} vs exact {}", a, e);
+    }
+
+    /// The pruned decision pipeline returns exactly what the reference
+    /// decision returns, for every strategy — with τ probed on, just
+    /// below, and just above the computed probability, plus both ends of
+    /// the valid range.
+    #[test]
+    fn decision_pipeline_equals_reference((x, y) in pair(), eps in 0.0..6.0f64, tau in 0.0..=1.0f64) {
+        for strategy in [
+            MunichStrategy::Exact,
+            MunichStrategy::Convolution { bins: 512 },
+            MunichStrategy::MonteCarlo { samples: 2_000 },
+            MunichStrategy::Auto,
+        ] {
+            let m = munich_with(strategy);
+            let p = m.probability_within(&x, &y, eps);
+            for t in [
+                tau,
+                0.0,
+                1.0,
+                p.clamp(0.0, 1.0),
+                (p - 1e-12).clamp(0.0, 1.0),
+                (p + 1e-12).clamp(0.0, 1.0),
+            ] {
+                prop_assert_eq!(
+                    m.decide_within(&x, &y, eps, t),
+                    m.matches(&x, &y, eps, t),
+                    "{:?} ε={} τ={} p={}", strategy, eps, t, p
+                );
+            }
+        }
+    }
+
+    /// Probability estimates are monotone in ε for the deterministic
+    /// strategies (the CDF of a fixed distribution).
+    #[test]
+    fn estimates_monotone_in_epsilon((x, y) in pair()) {
+        for strategy in [MunichStrategy::Exact, MunichStrategy::Convolution { bins: 1024 }] {
+            let m = munich_with(strategy);
+            let mut prev = -1.0f64;
+            for i in 0..12 {
+                let p = m.probability_within(&x, &y, i as f64 * 0.5);
+                prop_assert!(p + 1e-9 >= prev, "{:?}: not monotone at ε={}", strategy, i as f64 * 0.5);
+                prev = p;
+            }
+        }
+    }
+}

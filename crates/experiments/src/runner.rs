@@ -77,39 +77,9 @@ pub fn pick_queries(n: usize, count: usize, seed: Seed) -> Vec<usize> {
     idx
 }
 
-/// Parallel map over a slice with scoped threads; preserves order.
-/// Falls back to sequential for tiny inputs.
-pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    if workers <= 1 || items.len() < 4 {
-        return items.iter().map(&f).collect();
-    }
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
-    results.resize_with(items.len(), || None);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_ref = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                // Short critical section: single slot write.
-                let mut guard = results_ref.lock().expect("no poisoned workers");
-                guard[i] = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
-}
+// Now lives in uts-core (the engine's MUNICH refinement fans candidates
+// over it too); re-exported here so existing callers keep their path.
+pub use uts_core::parallel::parallel_map;
 
 /// Aggregated quality over a query set: one [`Moments`] accumulator per
 /// metric, ready for means and 95% confidence intervals.

@@ -34,5 +34,5 @@ pub mod spec;
 
 pub use error_model::{ErrorFamily, PointError};
 pub use perturb::{perturb, perturb_multi, perturb_values};
-pub use series::{MultiObsSeries, UncertainSeries};
+pub use series::{MultiObsError, MultiObsSeries, UncertainSeries};
 pub use spec::ErrorSpec;

@@ -136,34 +136,106 @@ pub struct MultiObsSeries {
     samples_per_point: usize,
 }
 
+/// Typed rejection of malformed multi-observation rows, returned by
+/// [`MultiObsSeries::try_from_rows`]. [`MultiObsSeries::from_rows`]
+/// panics with the same messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiObsError {
+    /// The row set covers no timestamps.
+    NoTimestamps,
+    /// A timestamp has an empty sample set.
+    EmptyTimestamp {
+        /// Index of the offending timestamp.
+        index: usize,
+    },
+    /// A row's sample count differs from the first row's.
+    RaggedRows {
+        /// Index of the offending timestamp.
+        index: usize,
+        /// Sample count of the first row.
+        expected: usize,
+        /// Sample count of the offending row.
+        got: usize,
+    },
+    /// An observation is NaN or infinite.
+    NonFiniteObservation {
+        /// Timestamp of the offending sample.
+        index: usize,
+    },
+}
+
+impl core::fmt::Display for MultiObsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NoTimestamps => write!(f, "MultiObsSeries requires at least one timestamp"),
+            Self::EmptyTimestamp { index } => write!(
+                f,
+                "each timestamp needs at least one observation (timestamp {index} is empty)"
+            ),
+            Self::RaggedRows {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "all timestamps must have the same number of observations \
+                 (timestamp {index} has {got}, expected {expected})"
+            ),
+            Self::NonFiniteObservation { index } => write!(
+                f,
+                "observations must be finite (timestamp {index} holds a NaN or infinity)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MultiObsError {}
+
 impl MultiObsSeries {
     /// Builds from per-timestamp observation rows.
     ///
     /// # Panics
     /// If `rows` is empty, rows have unequal lengths, any row is empty,
-    /// or any observation is non-finite.
+    /// or any observation is non-finite
+    /// ([`MultiObsSeries::try_from_rows`] reports the same conditions as
+    /// typed errors instead).
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
-        assert!(
-            !rows.is_empty(),
-            "MultiObsSeries requires at least one timestamp"
-        );
+        Self::try_from_rows(rows).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`MultiObsSeries::from_rows`]: malformed rows come
+    /// back as a [`MultiObsError`] naming the offending timestamp instead
+    /// of a panic — the ingestion-boundary entry point for untrusted data.
+    pub fn try_from_rows(rows: Vec<Vec<f64>>) -> Result<Self, MultiObsError> {
+        if rows.is_empty() {
+            return Err(MultiObsError::NoTimestamps);
+        }
         let s = rows[0].len();
-        assert!(s > 0, "each timestamp needs at least one observation");
-        assert!(
-            rows.iter().all(|r| r.len() == s),
-            "all timestamps must have the same number of observations"
-        );
+        if s == 0 {
+            return Err(MultiObsError::EmptyTimestamp { index: 0 });
+        }
+        for (i, r) in rows.iter().enumerate() {
+            if r.is_empty() {
+                return Err(MultiObsError::EmptyTimestamp { index: i });
+            }
+            if r.len() != s {
+                return Err(MultiObsError::RaggedRows {
+                    index: i,
+                    expected: s,
+                    got: r.len(),
+                });
+            }
+            if !r.iter().all(|v| v.is_finite()) {
+                return Err(MultiObsError::NonFiniteObservation { index: i });
+            }
+        }
         let len = rows.len();
         let obs: Box<[f64]> = rows.into_iter().flatten().collect();
-        assert!(
-            obs.iter().all(|v| v.is_finite()),
-            "observations must be finite"
-        );
-        Self {
+        Ok(Self {
             obs,
             len,
             samples_per_point: s,
-        }
+        })
     }
 
     /// Number of timestamps `n`.

@@ -1,0 +1,86 @@
+//! MUNICH refinement smoke check — CI's short-iteration throughput
+//! guard.
+//!
+//! ```sh
+//! cargo run --release --example munich_smoke
+//! ```
+//!
+//! Runs a modest MUNICH range workload twice — through the naive
+//! per-pair probability scan and through the engine's pruned decision
+//! pipeline — asserting (1) bit-identical answer sets and (2) a soft
+//! speedup floor, so a regression that quietly disables the pruning
+//! fails CI without paying for a full criterion capture.
+
+use std::time::Instant;
+
+use uncertts::core::engine::QueryEngine;
+use uncertts::core::matching::{MatchingTask, Technique};
+use uncertts::core::munich::Munich;
+use uncertts::stats::rng::Seed;
+use uncertts::tseries::TimeSeries;
+use uncertts::uncertain::{perturb, perturb_multi, ErrorFamily, ErrorSpec};
+
+fn main() {
+    let seed = Seed::new(0xBE7C);
+    let n = 24;
+    let len = 120;
+    let clean: Vec<TimeSeries> = (0..n)
+        .map(|i| {
+            TimeSeries::from_values((0..len).map(|t| {
+                let t = t as f64;
+                (t / 4.0 + i as f64 * 0.3).sin() + 0.4 * (t / 11.0 + i as f64).cos()
+            }))
+            .znormalized()
+        })
+        .collect();
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, 0.5);
+    let uncertain: Vec<_> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, c)| perturb(c, &spec, seed.derive("pdf").derive_u64(i as u64)))
+        .collect();
+    let multi: Vec<_> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, c)| perturb_multi(c, &spec, 3, seed.derive("multi").derive_u64(i as u64)))
+        .collect();
+    let task = MatchingTask::new(clean, uncertain, Some(multi), 3);
+    let technique = Technique::Munich {
+        munich: Munich::default(),
+        tau: 0.4,
+    };
+    let queries: Vec<usize> = (0..n).step_by(3).collect();
+    let eps: Vec<(usize, f64)> = queries
+        .iter()
+        .map(|&q| (q, task.calibrated_threshold(q, &technique)))
+        .collect();
+
+    let t0 = Instant::now();
+    let naive: Vec<Vec<usize>> = eps
+        .iter()
+        .map(|&(q, e)| task.answer_set_naive(q, &technique, e))
+        .collect();
+    let naive_time = t0.elapsed();
+
+    let engine = QueryEngine::prepare(&task, &technique);
+    let t0 = Instant::now();
+    let fast: Vec<Vec<usize>> = eps.iter().map(|&(q, e)| engine.answer_set(q, e)).collect();
+    let engine_time = t0.elapsed();
+
+    assert_eq!(naive, fast, "engine answer sets diverged from naive");
+    let speedup = naive_time.as_secs_f64() / engine_time.as_secs_f64().max(1e-9);
+    println!(
+        "munich range x{} queries: naive {:?}, engine {:?} ({speedup:.1}x), answers identical",
+        queries.len(),
+        naive_time,
+        engine_time
+    );
+    // Soft floor: the pruned pipeline must stay clearly ahead of the
+    // full-probability scan even on one core and a small collection (the
+    // criterion capture in BENCH_munich.json records the real margin).
+    assert!(
+        speedup >= 2.0,
+        "pruned refinement regressed: only {speedup:.2}x over naive"
+    );
+    println!("ok");
+}

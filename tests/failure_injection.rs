@@ -161,6 +161,95 @@ fn munich_identical_samples_per_timestamp() {
 }
 
 #[test]
+fn munich_degenerate_inputs_yield_typed_errors() {
+    use uncertts::core::munich::MunichError;
+    use uncertts::uncertain::MultiObsError;
+
+    // Ingestion boundary: malformed rows come back as values naming the
+    // offending timestamp, not panics.
+    assert_eq!(
+        MultiObsSeries::try_from_rows(vec![]),
+        Err(MultiObsError::NoTimestamps)
+    );
+    // Empty sample set at one timestamp.
+    assert_eq!(
+        MultiObsSeries::try_from_rows(vec![vec![1.0], vec![]]),
+        Err(MultiObsError::EmptyTimestamp { index: 1 })
+    );
+    // NaN sample.
+    assert_eq!(
+        MultiObsSeries::try_from_rows(vec![vec![1.0], vec![f64::NAN]]),
+        Err(MultiObsError::NonFiniteObservation { index: 1 })
+    );
+    // Ragged rows.
+    assert_eq!(
+        MultiObsSeries::try_from_rows(vec![vec![1.0], vec![1.0, 2.0]]),
+        Err(MultiObsError::RaggedRows {
+            index: 1,
+            expected: 1,
+            got: 2
+        })
+    );
+    // The panicking constructor raises the same message.
+    assert!(panics(|| MultiObsSeries::from_rows(vec![
+        vec![1.0],
+        vec![]
+    ])));
+
+    // Query boundary: a length-mismatched query is a typed error through
+    // the `try_*` APIs (and still a documented panic through the classic
+    // ones, covered by the in-module unit tests).
+    let a = MultiObsSeries::from_rows(vec![vec![0.0]]);
+    let b = MultiObsSeries::from_rows(vec![vec![0.0], vec![1.0]]);
+    let munich = Munich::default();
+    assert_eq!(
+        munich.try_probability_bounds(&a, &b, 1.0).unwrap_err(),
+        MunichError::LengthMismatch { x: 1, y: 2 }
+    );
+    assert_eq!(
+        munich.try_decide_within(&a, &b, 1.0, 0.5).unwrap_err(),
+        MunichError::LengthMismatch { x: 1, y: 2 }
+    );
+    assert_eq!(
+        munich.try_decide_within(&a, &a, -2.0, 0.5).unwrap_err(),
+        MunichError::InvalidEpsilon(-2.0)
+    );
+    assert_eq!(
+        munich.try_decide_within(&a, &a, 1.0, 2.0).unwrap_err(),
+        MunichError::InvalidTau(2.0)
+    );
+    // Valid inputs still answer through the fallible paths.
+    assert_eq!(munich.try_decide_within(&a, &a, 1.0, 0.5), Ok(true));
+}
+
+#[test]
+fn munich_prepare_without_multi_obs_is_typed() {
+    use uncertts::core::engine::{PrepareError, QueryEngine};
+    use uncertts::tseries::TimeSeries;
+    use uncertts::uncertain::PointError;
+
+    let e = PointError::new(ErrorFamily::Normal, 0.2);
+    let clean: Vec<TimeSeries> = (0..4)
+        .map(|i| TimeSeries::from_values((0..8).map(|t| (t + i) as f64)))
+        .collect();
+    let uncertain: Vec<UncertainSeries> = clean
+        .iter()
+        .map(|c| UncertainSeries::new(c.values().to_vec(), vec![e; 8]))
+        .collect();
+    let task = MatchingTask::new(clean, uncertain, None, 2);
+    let technique = Technique::Munich {
+        munich: Munich::default(),
+        tau: 0.5,
+    };
+    // Typed error from try_prepare; documented panic (same message) from
+    // prepare.
+    let err = QueryEngine::try_prepare(&task, &technique).unwrap_err();
+    assert_eq!(err, PrepareError::MissingMultiObs);
+    assert!(err.to_string().contains("multi-observation"));
+    assert!(panics(|| QueryEngine::prepare(&task, &technique)));
+}
+
+#[test]
 fn munich_strategies_agree_on_degenerate_epsilon() {
     let x = MultiObsSeries::from_rows(vec![vec![0.0, 0.1], vec![1.0, 1.1]]);
     let y = MultiObsSeries::from_rows(vec![vec![5.0, 5.1], vec![6.0, 6.1]]);
