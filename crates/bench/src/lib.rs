@@ -80,6 +80,42 @@ pub fn bench_task(sigma: f64, k: usize) -> uts_core::matching::MatchingTask {
     uts_core::matching::MatchingTask::new(d.series, uncertain, Some(multi), k)
 }
 
+/// A matching task over `n` GunPoint-analogue series — the scalable
+/// fixture the `serving_throughput` bench shards. Same construction as
+/// [`bench_task`], with the collection size a parameter.
+pub fn bench_task_sized(n: usize, sigma: f64, k: usize) -> uts_core::matching::MatchingTask {
+    let d = Catalogue::new(Seed::new(BENCH_SEED)).generate_scaled(DatasetId::GunPoint, n);
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, sigma);
+    let uncertain: Vec<UncertainSeries> = d
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            perturb(
+                s,
+                &spec,
+                Seed::new(BENCH_SEED).derive("task").derive_u64(i as u64),
+            )
+        })
+        .collect();
+    let multi: Vec<MultiObsSeries> = d
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            perturb_multi(
+                s,
+                &spec,
+                3,
+                Seed::new(BENCH_SEED)
+                    .derive("task-multi")
+                    .derive_u64(i as u64),
+            )
+        })
+        .collect();
+    uts_core::matching::MatchingTask::new(d.series, uncertain, Some(multi), k)
+}
+
 /// A pair of multi-observation series (`n` timestamps × `s` samples).
 pub fn bench_multi_pair(n: usize, s: usize, sigma: f64) -> (MultiObsSeries, MultiObsSeries) {
     let d = bench_dataset();

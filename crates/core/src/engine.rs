@@ -29,8 +29,8 @@
 //!    ([`uts_tseries::squared_cutoff`]), LB_Keogh pruning before any
 //!    band-constrained DTW (Kurbalija et al. show the Sakoe–Chiba band is
 //!    what makes DTW practical), and a reusable
-//!    [`DtwWorkspace`](uts_tseries::DtwWorkspace) so the DTW kernel is
-//!    allocation-free in steady state.
+//!    [`uts_tseries::DtwWorkspace`] so the DTW kernel is allocation-free
+//!    in steady state.
 //!
 //! Every fast path is *bit-identical* to its naive counterpart (asserted
 //! by the `engine_equivalence` suite): the early-abandon kernels replay
@@ -38,6 +38,7 @@
 //! rounding, so answer sets, top-k results and probabilities match the
 //! `*_naive` paths down to the last ulp.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
@@ -46,7 +47,7 @@ use uts_tseries::distance::{
 };
 use uts_tseries::dtw::{lb_keogh_enveloped, DtwOptions, DtwWorkspace, KeoghEnvelope};
 use uts_tseries::TimeSeries;
-use uts_uncertain::PointError;
+use uts_uncertain::{MultiObsSeries, PointError, UncertainSeries};
 
 use crate::matching::{GroundTruth, MatchingTask, QualityScores, Technique};
 use crate::munich::MbiEnvelope;
@@ -86,15 +87,73 @@ enum Prepared {
     Munich(Vec<MbiEnvelope>),
 }
 
+/// A query's technique-specific view, detached from any particular
+/// engine's collection.
+///
+/// This is what lets the serving layer fan one query out across shard
+/// engines the query is *not* a member of: the owner shard resolves the
+/// query's prepared view once ([`QueryEngine::query_ref`]), and every
+/// shard then scans its own members against it through the `*_ref`
+/// entry points ([`QueryEngine::answer_set_ref`],
+/// [`QueryEngine::top_k_ref`], [`QueryEngine::probabilities_ref`]).
+///
+/// The variant must match the technique the receiving engine was
+/// prepared for (the `*_ref` methods panic on a mismatch — it is a
+/// caller bug, like an out-of-range index).
+#[derive(Debug, Clone, Copy)]
+pub enum QueryRef<'q> {
+    /// The observed/pdf-model query series (Euclidean, DUST, PROUD).
+    Uncertain(&'q UncertainSeries),
+    /// The query's filtered view (UMA/UEMA) — already passed through the
+    /// technique's filter, so shards never re-filter per query.
+    Filtered(&'q TimeSeries),
+    /// The multi-observation query plus its precomputed MBI envelope
+    /// (MUNICH).
+    Multi(&'q MultiObsSeries, &'q MbiEnvelope),
+}
+
 /// A similarity technique bound to a collection, with the per-collection
 /// work hoisted out of the query loop.
 ///
 /// Build once with [`QueryEngine::prepare`], then answer any number of
 /// range / top-k / probability queries. The engine is `Sync`: one
 /// prepared instance serves all worker threads of a batched evaluation.
+///
+/// The collection parameter `T` is anything that borrows a
+/// [`MatchingTask`]: plain `&MatchingTask` for the classic borrowed
+/// engine, or an owning handle such as `Arc<MatchingTask>` when the
+/// engine must outlive the scope that built the task (the sharded
+/// serving layer holds one owning engine per shard).
+///
+/// # Example: prepare once, query many
+///
+/// ```
+/// use uts_core::engine::QueryEngine;
+/// use uts_core::matching::{MatchingTask, Technique};
+/// use uts_tseries::TimeSeries;
+/// use uts_uncertain::{ErrorFamily, PointError, UncertainSeries};
+///
+/// let e = PointError::new(ErrorFamily::Normal, 0.1);
+/// let clean: Vec<TimeSeries> = (0..6)
+///     .map(|i| TimeSeries::from_values((0..8).map(|t| ((t + i) as f64 / 3.0).sin())))
+///     .collect();
+/// let uncertain: Vec<UncertainSeries> = clean
+///     .iter()
+///     .map(|c| UncertainSeries::new(c.values().to_vec(), vec![e; 8]))
+///     .collect();
+/// let task = MatchingTask::new(clean, uncertain, None, 2);
+///
+/// // Per-collection work happens once, here — not inside the loop.
+/// let engine = QueryEngine::prepare(&task, &Technique::Euclidean);
+/// for q in 0..task.len() {
+///     let eps = task.calibrated_threshold(q, &Technique::Euclidean);
+///     let hits = engine.answer_set(q, eps);
+///     assert!(hits.iter().all(|&i| i != q), "self is excluded");
+/// }
+/// ```
 #[derive(Debug)]
-pub struct QueryEngine<'a> {
-    task: &'a MatchingTask,
+pub struct QueryEngine<T: Borrow<MatchingTask>> {
+    task: T,
     technique: Technique,
     state: Prepared,
     /// LB_Keogh envelopes of every member's value view, lazily built and
@@ -102,7 +161,7 @@ pub struct QueryEngine<'a> {
     keogh: RwLock<HashMap<usize, Arc<Vec<KeoghEnvelope>>>>,
 }
 
-impl<'a> QueryEngine<'a> {
+impl<T: Borrow<MatchingTask>> QueryEngine<T> {
     /// Prepares the engine: runs the technique's per-collection
     /// precomputation (the `O(collection)` work every query would
     /// otherwise repeat).
@@ -111,15 +170,25 @@ impl<'a> QueryEngine<'a> {
     /// For [`Technique::Munich`] when the task holds no multi-observation
     /// data ([`QueryEngine::try_prepare`] reports this as a typed
     /// [`PrepareError`] instead).
-    pub fn prepare(task: &'a MatchingTask, technique: &Technique) -> Self {
+    pub fn prepare(task: T, technique: &Technique) -> Self {
         Self::try_prepare(task, technique).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible twin of [`QueryEngine::prepare`].
-    pub fn try_prepare(
-        task: &'a MatchingTask,
-        technique: &Technique,
-    ) -> Result<Self, PrepareError> {
+    pub fn try_prepare(task: T, technique: &Technique) -> Result<Self, PrepareError> {
+        let state = Self::build_state(task.borrow(), technique)?;
+        Ok(Self {
+            task,
+            technique: technique.clone(),
+            state,
+            keogh: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The per-collection precomputation behind
+    /// [`QueryEngine::try_prepare`] (see the module docs for what each
+    /// technique hoists out of the query loop).
+    fn build_state(task: &MatchingTask, technique: &Technique) -> Result<Prepared, PrepareError> {
         let state = match technique {
             Technique::Euclidean | Technique::Proud { .. } => Prepared::Plain,
             Technique::Dust(d) => {
@@ -153,17 +222,12 @@ impl<'a> QueryEngine<'a> {
                 Prepared::Munich(multi.iter().map(MbiEnvelope::build).collect())
             }
         };
-        Ok(Self {
-            task,
-            technique: technique.clone(),
-            state,
-            keogh: RwLock::new(HashMap::new()),
-        })
+        Ok(state)
     }
 
     /// The underlying task.
     pub fn task(&self) -> &MatchingTask {
-        self.task
+        self.task.borrow()
     }
 
     /// The technique the engine was prepared for.
@@ -171,84 +235,126 @@ impl<'a> QueryEngine<'a> {
         &self.technique
     }
 
+    /// The prepared query view of member `q` — its own series for the
+    /// uncertain-series techniques, its cached filtered view for
+    /// UMA/UEMA, its multi-observation rows plus MBI envelope for MUNICH.
+    ///
+    /// Pass the result to the `*_ref` entry points of *any* engine
+    /// prepared for the same technique (in particular another shard's
+    /// engine — the query need not be a member of the receiving
+    /// collection).
+    pub fn query_ref(&self, q: usize) -> QueryRef<'_> {
+        let task = self.task();
+        assert!(q < task.len(), "query index out of range");
+        match (&self.technique, &self.state) {
+            (Technique::Uma(_) | Technique::Uema(_), Prepared::Filtered(filtered)) => {
+                QueryRef::Filtered(&filtered[q])
+            }
+            (Technique::Munich { .. }, Prepared::Munich(envelopes)) => {
+                let multi = task
+                    .multi()
+                    .expect("MUNICH requires multi-observation data in the task");
+                QueryRef::Multi(&multi[q], &envelopes[q])
+            }
+            _ => QueryRef::Uncertain(&task.uncertain()[q]),
+        }
+    }
+
     /// Range query: all candidates within `epsilon` of query `q` (self
     /// excluded), as a sorted index vector. Bit-identical to
     /// [`MatchingTask::answer_set_naive`].
     pub fn answer_set(&self, q: usize, epsilon: f64) -> Vec<usize> {
-        let n = self.task.len();
-        assert!(q < n, "query index out of range");
+        self.answer_set_ref(&self.query_ref(q), epsilon, Some(q))
+    }
+
+    /// Range query against an external query view: all members of *this*
+    /// engine's collection within `epsilon` of `query`, as a sorted
+    /// (local) index vector. `exclude` skips one local index — pass the
+    /// query's own position when it is a member of this collection,
+    /// `None` when it lives elsewhere (another shard).
+    ///
+    /// Runs exactly the kernels of [`QueryEngine::answer_set`], so a
+    /// sharded scan unions to the bit-identical unsharded answer.
+    ///
+    /// # Panics
+    /// If the `query` variant does not match the prepared technique.
+    pub fn answer_set_ref(
+        &self,
+        query: &QueryRef<'_>,
+        epsilon: f64,
+        exclude: Option<usize>,
+    ) -> Vec<usize> {
+        let task = self.task();
+        let n = task.len();
         let mut out = Vec::new();
-        match (&self.technique, &self.state) {
-            (Technique::Euclidean, _) => {
+        match (&self.technique, &self.state, query) {
+            (Technique::Euclidean, _, QueryRef::Uncertain(qu)) => {
                 let cutoff = range_cutoff(epsilon);
-                let qv = self.task.uncertain()[q].values();
-                for i in (0..n).filter(|&i| i != q) {
-                    let iv = self.task.uncertain()[i].values();
+                let qv = qu.values();
+                for i in candidates(n, exclude) {
+                    let iv = task.uncertain()[i].values();
                     if euclidean_squared_early_abandon(qv, iv, cutoff).is_some() {
                         out.push(i);
                     }
                 }
             }
-            (Technique::Uma(_) | Technique::Uema(_), Prepared::Filtered(filtered)) => {
+            (
+                Technique::Uma(_) | Technique::Uema(_),
+                Prepared::Filtered(filtered),
+                QueryRef::Filtered(fq),
+            ) => {
                 let cutoff = range_cutoff(epsilon);
-                let qv = filtered[q].values();
-                for i in (0..n).filter(|&i| i != q) {
+                let qv = fq.values();
+                for i in candidates(n, exclude) {
                     if euclidean_squared_early_abandon(qv, filtered[i].values(), cutoff).is_some() {
                         out.push(i);
                     }
                 }
             }
-            (Technique::Dust(d), _) => {
+            (Technique::Dust(d), _, QueryRef::Uncertain(qu)) => {
                 let cutoff = range_cutoff(epsilon);
-                let qu = &self.task.uncertain()[q];
-                for i in (0..n).filter(|&i| i != q) {
-                    if d.distance_sq_early_abandon(qu, &self.task.uncertain()[i], cutoff)
+                for i in candidates(n, exclude) {
+                    if d.distance_sq_early_abandon(qu, &task.uncertain()[i], cutoff)
                         .is_some()
                     {
                         out.push(i);
                     }
                 }
             }
-            (Technique::Proud { proud, tau }, _) => {
-                let qu = &self.task.uncertain()[q];
-                for i in (0..n).filter(|&i| i != q) {
-                    if proud.matches(qu, &self.task.uncertain()[i], epsilon, *tau) {
+            (Technique::Proud { proud, tau }, _, QueryRef::Uncertain(qu)) => {
+                for i in candidates(n, exclude) {
+                    if proud.matches(qu, &task.uncertain()[i], epsilon, *tau) {
                         out.push(i);
                     }
                 }
             }
-            (Technique::Munich { munich, tau }, Prepared::Munich(envelopes)) => {
+            (
+                Technique::Munich { munich, tau },
+                Prepared::Munich(envelopes),
+                QueryRef::Multi(qm, qenv),
+            ) => {
                 assert!((0.0..=1.0).contains(tau), "τ must be in [0, 1]");
-                let multi = self
-                    .task
+                let multi = task
                     .multi()
                     .expect("MUNICH requires multi-observation data in the task");
-                let qm = &multi[q];
                 // Pruned refinement, fanned over all cores: each candidate
                 // runs the MBI-filter → count-bound-abandon → refine
                 // pipeline, whose decision is bit-identical to the naive
                 // `matches` (and therefore to the `p ≥ τ` comparison the
                 // engine historically made). `parallel_map` preserves
                 // order, so the answer set stays sorted.
-                let candidates: Vec<usize> = (0..n).filter(|&i| i != q).collect();
-                let hits = parallel_map(&candidates, |&i| {
-                    munich.matches_enveloped(
-                        qm,
-                        &multi[i],
-                        epsilon,
-                        *tau,
-                        &envelopes[q],
-                        &envelopes[i],
-                    )
+                let cands: Vec<usize> = candidates(n, exclude).collect();
+                let hits = parallel_map(&cands, |&i| {
+                    munich.matches_enveloped(qm, &multi[i], epsilon, *tau, qenv, &envelopes[i])
                 });
                 out.extend(
-                    candidates
+                    cands
                         .iter()
                         .zip(hits)
                         .filter_map(|(&i, hit)| hit.then_some(i)),
                 );
             }
-            _ => unreachable!("prepared state matches the technique by construction"),
+            _ => panic!("query view does not match the prepared technique"),
         }
         out
     }
@@ -257,42 +363,52 @@ impl<'a> QueryEngine<'a> {
     /// non-probabilistic techniques. Bit-identical to
     /// [`MatchingTask::probabilities_naive`].
     pub fn probabilities(&self, q: usize, epsilon: f64) -> Option<Vec<(usize, f64)>> {
-        let n = self.task.len();
-        assert!(q < n, "query index out of range");
-        match (&self.technique, &self.state) {
-            (Technique::Proud { proud, .. }, _) => {
-                let qu = &self.task.uncertain()[q];
-                Some(
-                    (0..n)
-                        .filter(|&i| i != q)
-                        .map(|i| {
-                            (
-                                i,
-                                proud.probability_within(qu, &self.task.uncertain()[i], epsilon),
-                            )
-                        })
-                        .collect(),
-                )
-            }
-            (Technique::Munich { munich, .. }, Prepared::Munich(envelopes)) => {
-                let multi = self
-                    .task
+        self.probabilities_ref(&self.query_ref(q), epsilon, Some(q))
+    }
+
+    /// Probabilities against an external query view (see
+    /// [`QueryEngine::answer_set_ref`] for the `exclude` convention);
+    /// local indices, `None` for non-probabilistic techniques.
+    ///
+    /// # Panics
+    /// If the `query` variant does not match the prepared technique.
+    pub fn probabilities_ref(
+        &self,
+        query: &QueryRef<'_>,
+        epsilon: f64,
+        exclude: Option<usize>,
+    ) -> Option<Vec<(usize, f64)>> {
+        let task = self.task();
+        let n = task.len();
+        match (&self.technique, &self.state, query) {
+            (Technique::Proud { proud, .. }, _, QueryRef::Uncertain(qu)) => Some(
+                candidates(n, exclude)
+                    .map(|i| {
+                        (
+                            i,
+                            proud.probability_within(qu, &task.uncertain()[i], epsilon),
+                        )
+                    })
+                    .collect(),
+            ),
+            (
+                Technique::Munich { munich, .. },
+                Prepared::Munich(envelopes),
+                QueryRef::Multi(qm, qenv),
+            ) => {
+                let multi = task
                     .multi()
                     .expect("MUNICH requires multi-observation data in the task");
-                let qm = &multi[q];
                 // Full probabilities cannot abandon early (the value
                 // itself is the answer), but they parallelise perfectly.
-                let candidates: Vec<usize> = (0..n).filter(|&i| i != q).collect();
-                let probs = parallel_map(&candidates, |&i| {
-                    munich.probability_within_enveloped(
-                        qm,
-                        &multi[i],
-                        epsilon,
-                        &envelopes[q],
-                        &envelopes[i],
-                    )
+                let cands: Vec<usize> = candidates(n, exclude).collect();
+                let probs = parallel_map(&cands, |&i| {
+                    munich.probability_within_enveloped(qm, &multi[i], epsilon, qenv, &envelopes[i])
                 });
-                Some(candidates.into_iter().zip(probs).collect())
+                Some(cands.into_iter().zip(probs).collect())
+            }
+            (Technique::Proud { .. } | Technique::Munich { .. }, _, _) => {
+                panic!("query view does not match the prepared technique")
             }
             _ => None,
         }
@@ -308,29 +424,56 @@ impl<'a> QueryEngine<'a> {
     /// limit: a candidate whose running squared sum proves it cannot beat
     /// the k-th best is dropped mid-pass.
     pub fn top_k(&self, q: usize, k: usize) -> Option<Vec<(usize, f64)>> {
-        let n = self.task.len();
-        assert!(q < n, "query index out of range");
+        assert!(q < self.task().len(), "query index out of range");
+        self.top_k_ref(&self.query_ref(q), k, Some(q))
+    }
+
+    /// Top-k against an external query view (see
+    /// [`QueryEngine::answer_set_ref`] for the `exclude` convention):
+    /// the `min(k, candidates)` nearest members of *this* collection, as
+    /// `(local index, distance)` sorted ascending by distance then index.
+    /// `None` for the probabilistic techniques.
+    ///
+    /// Distances returned for surviving candidates do not depend on the
+    /// early-abandon limit (the accumulation order is fixed), so
+    /// per-shard selections merge to the bit-identical global top-k —
+    /// the guarantee the serving layer's bounded merge relies on.
+    ///
+    /// # Panics
+    /// If the `query` variant does not match the prepared technique.
+    pub fn top_k_ref(
+        &self,
+        query: &QueryRef<'_>,
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Option<Vec<(usize, f64)>> {
+        let task = self.task();
+        let n = task.len();
         assert!(k > 0, "k must be positive");
-        match (&self.technique, &self.state) {
-            (Technique::Euclidean, _) => {
-                let qv = self.task.uncertain()[q].values();
-                Some(select_top_k(n, q, k, |i, limit| {
-                    euclidean_squared_early_abandon(qv, self.task.uncertain()[i].values(), limit)
+        match (&self.technique, &self.state, query) {
+            (Technique::Euclidean, _, QueryRef::Uncertain(qu)) => {
+                let qv = qu.values();
+                Some(select_top_k(n, exclude, k, |i, limit| {
+                    euclidean_squared_early_abandon(qv, task.uncertain()[i].values(), limit)
                 }))
             }
-            (Technique::Uma(_) | Technique::Uema(_), Prepared::Filtered(filtered)) => {
-                let qv = filtered[q].values();
-                Some(select_top_k(n, q, k, |i, limit| {
+            (
+                Technique::Uma(_) | Technique::Uema(_),
+                Prepared::Filtered(filtered),
+                QueryRef::Filtered(fq),
+            ) => {
+                let qv = fq.values();
+                Some(select_top_k(n, exclude, k, |i, limit| {
                     euclidean_squared_early_abandon(qv, filtered[i].values(), limit)
                 }))
             }
-            (Technique::Dust(d), _) => {
-                let qu = &self.task.uncertain()[q];
-                Some(select_top_k(n, q, k, |i, limit| {
-                    d.distance_sq_early_abandon(qu, &self.task.uncertain()[i], limit)
+            (Technique::Dust(d), _, QueryRef::Uncertain(qu)) => {
+                Some(select_top_k(n, exclude, k, |i, limit| {
+                    d.distance_sq_early_abandon(qu, &task.uncertain()[i], limit)
                 }))
             }
-            _ => None,
+            (Technique::Proud { .. } | Technique::Munich { .. }, _, _) => None,
+            _ => panic!("query view does not match the prepared technique"),
         }
     }
 
@@ -340,17 +483,18 @@ impl<'a> QueryEngine<'a> {
     /// envelopes for the value-based techniques. `None` for the
     /// probabilistic techniques.
     pub fn dtw_answer_set(&self, q: usize, epsilon: f64, band: usize) -> Option<Vec<usize>> {
-        let n = self.task.len();
+        let task = self.task();
+        let n = task.len();
         assert!(q < n, "query index out of range");
         let opts = DtwOptions::with_band(band);
         if let Technique::Dust(d) = &self.technique {
-            let qu = &self.task.uncertain()[q];
+            let qu = &task.uncertain()[q];
             let mut ws = DtwWorkspace::new();
             return Some(
                 (0..n)
                     .filter(|&i| i != q)
                     .filter(|&i| {
-                        d.dtw_distance_with(qu, &self.task.uncertain()[i], opts, &mut ws) <= epsilon
+                        d.dtw_distance_with(qu, &task.uncertain()[i], opts, &mut ws) <= epsilon
                     })
                     .collect(),
             );
@@ -377,8 +521,9 @@ impl<'a> QueryEngine<'a> {
     /// threshold, answer, score — with the answer scan on the prepared
     /// fast path.
     pub fn query_quality(&self, q: usize) -> QualityScores {
-        let gt = self.task.ground_truth(q);
-        let eps = self.task.threshold_against(q, gt.anchor, &self.technique);
+        let task = self.task();
+        let gt = task.ground_truth(q);
+        let eps = task.threshold_against(q, gt.anchor, &self.technique);
         let answer = self.answer_set(q, eps);
         QualityScores::from_sets(&answer, &gt.neighbors)
     }
@@ -394,7 +539,7 @@ impl<'a> QueryEngine<'a> {
     /// has one.
     fn value_view(&self, i: usize) -> Option<&[f64]> {
         match (&self.technique, &self.state) {
-            (Technique::Euclidean, _) => Some(self.task.uncertain()[i].values()),
+            (Technique::Euclidean, _) => Some(self.task().uncertain()[i].values()),
             (_, Prepared::Filtered(filtered)) => Some(filtered[i].values()),
             _ => None,
         }
@@ -407,7 +552,7 @@ impl<'a> QueryEngine<'a> {
             return envs.clone();
         }
         let envs: Arc<Vec<KeoghEnvelope>> = Arc::new(
-            (0..self.task.len())
+            (0..self.task().len())
                 .map(|i| {
                     KeoghEnvelope::build(self.value_view(i).expect("value-based technique"), band)
                 })
@@ -429,7 +574,7 @@ impl<'a> QueryEngine<'a> {
 /// sort-by-distance path (ties resolve by index either way).
 pub(crate) fn clean_ground_truth(clean: &[TimeSeries], q: usize, k: usize) -> GroundTruth {
     let qs = clean[q].values();
-    let best = select_top_k(clean.len(), q, k, |i, limit| {
+    let best = select_top_k(clean.len(), Some(q), k, |i, limit| {
         euclidean_squared_early_abandon(qs, clean[i].values(), limit)
     });
     let &(anchor, clean_distance) = best.last().expect("k >= 1 and len >= k + 2");
@@ -438,6 +583,12 @@ pub(crate) fn clean_ground_truth(clean: &[TimeSeries], q: usize, k: usize) -> Gr
         anchor,
         clean_distance,
     }
+}
+
+/// Candidate iterator for a scan over `n` members, skipping at most one
+/// local index (the query's own slot when it lives in this collection).
+fn candidates(n: usize, exclude: Option<usize>) -> impl Iterator<Item = usize> {
+    (0..n).filter(move |&i| Some(i) != exclude)
 }
 
 /// Exact cutoff for `distance <= epsilon` decisions in squared space,
@@ -452,14 +603,15 @@ fn range_cutoff(epsilon: f64) -> f64 {
     }
 }
 
-/// Shared top-k selection: scans candidates `i ≠ q` in index order,
-/// keeping the `k` best `(distance, index)` pairs. `dist_sq` receives the
-/// candidate and the current squared abandon limit (strict: a tie with
-/// the k-th best loses, since later candidates carry larger indices) and
-/// returns the full squared distance or `None` once it exceeds the limit.
+/// Shared top-k selection: scans candidates (skipping `exclude`) in
+/// index order, keeping the `k` best `(distance, index)` pairs.
+/// `dist_sq` receives the candidate and the current squared abandon
+/// limit (strict: a tie with the k-th best loses, since later candidates
+/// carry larger indices) and returns the full squared distance or `None`
+/// once it exceeds the limit.
 fn select_top_k(
     n: usize,
-    q: usize,
+    exclude: Option<usize>,
     k: usize,
     mut dist_sq: impl FnMut(usize, f64) -> Option<f64>,
 ) -> Vec<(usize, f64)> {
@@ -469,7 +621,7 @@ fn select_top_k(
     // free on short series).
     let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
     let mut limit = f64::INFINITY;
-    for i in (0..n).filter(|&i| i != q) {
+    for i in candidates(n, exclude) {
         let Some(total) = dist_sq(i, limit) else {
             continue;
         };
@@ -598,23 +750,37 @@ mod unit {
     }
 
     #[test]
-    fn task_top_k_is_none_for_probabilistic_without_multi() {
+    fn task_top_k_is_typed_error_for_probabilistic_without_multi() {
         // MUNICH preparation demands multi-observation data; the task
-        // shortcut must answer `None` (like the naive path) instead of
-        // panicking in `prepare`.
+        // shortcut must answer a typed error (not panic in `prepare`,
+        // and not a bare `None` that conflates "no matches").
+        use crate::matching::{TaskError, TechniqueKind};
         let base = toy_task(37, 8, 10, 0.3, 3);
         let task = MatchingTask::new(base.clean().to_vec(), base.uncertain().to_vec(), None, 3);
         let munich = Technique::Munich {
             munich: Munich::default(),
             tau: 0.5,
         };
-        assert!(task.top_k(0, &munich, 3).is_none());
+        assert_eq!(
+            task.top_k(0, &munich, 3),
+            Err(TaskError::NotDistanceRanked(TechniqueKind::Munich))
+        );
         assert!(task.top_k_naive(0, &munich, 3).is_none());
         let proud = Technique::Proud {
             proud: Proud::default(),
             tau: 0.5,
         };
-        assert!(task.top_k(0, &proud, 3).is_none());
+        assert_eq!(
+            task.top_k(0, &proud, 3),
+            Err(TaskError::NotDistanceRanked(TechniqueKind::Proud))
+        );
+        // Distance techniques agree with the engine, through `Ok`.
+        assert_eq!(
+            task.top_k(0, &Technique::Euclidean, 3).unwrap(),
+            QueryEngine::prepare(&task, &Technique::Euclidean)
+                .top_k(0, 3)
+                .unwrap()
+        );
     }
 
     #[test]

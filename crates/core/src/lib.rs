@@ -34,6 +34,12 @@
 //! LB_Keogh envelopes) split from per-query evaluation with early
 //! abandonment and lower-bound pruning, bit-identical to the naive
 //! `*_naive` reference paths.
+//!
+//! [`serving`] stacks a concurrent serving layer on top: the collection
+//! partitioned across shard engines, queries fanned over a scoped worker
+//! pool, answers merged deterministically (still bit-identical to the
+//! unsharded engine), and a cross-query result cache for skewed
+//! workloads.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -54,16 +60,18 @@ pub mod parallel;
 pub mod proud;
 pub mod proud_stream;
 pub mod query;
+pub mod serving;
 pub mod uma;
 
 pub use classify::{knn_loocv, one_nn_loocv, ClassificationOutcome};
 pub use dust::{Dust, DustConfig};
-pub use engine::{PrepareError, QueryEngine};
+pub use engine::{PrepareError, QueryEngine, QueryRef};
 pub use euclidean::euclidean_distance;
-pub use matching::{MatchingTask, QualityScores, TechniqueKind};
+pub use matching::{MatchingTask, QualityScores, TaskError, TechniqueKind};
 pub use munich::{MbiEnvelope, Munich, MunichConfig, MunichError, MunichStrategy};
 pub use parallel::parallel_map;
 pub use proud::{MomentModel, Proud, ProudConfig};
 pub use proud_stream::ProudStream;
 pub use query::{ProbabilisticRangeQuery, RangeQuery, TopK, TopKMotifs};
+pub use serving::{CacheStats, ResultCache, ShardAssignment, ShardPlan, ShardedEngine};
 pub use uma::{Uema, Uma, WeightNormalization};

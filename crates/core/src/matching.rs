@@ -125,6 +125,41 @@ impl Technique {
     }
 }
 
+/// Typed rejection of a task-level query the technique cannot answer,
+/// so callers can tell "no matches" (an empty `Ok`) apart from "this
+/// question is not well-posed for this technique".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskError {
+    /// The technique answers probabilistic range queries, not distance
+    /// rankings — top-k by distance is undefined for it (paper §2: MUNICH
+    /// and PROUD return `Pr(dist ≤ ε)`, not a real-valued distance).
+    NotDistanceRanked(TechniqueKind),
+    /// The engine could not be prepared for this task (e.g. MUNICH
+    /// without multi-observation data).
+    Prepare(crate::engine::PrepareError),
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotDistanceRanked(kind) => write!(
+                f,
+                "{kind} answers probabilistic range queries, not distance rankings; \
+                 top-k by distance is undefined"
+            ),
+            Self::Prepare(e) => write!(f, "cannot prepare the task: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+impl From<crate::engine::PrepareError> for TaskError {
+    fn from(e: crate::engine::PrepareError) -> Self {
+        Self::Prepare(e)
+    }
+}
+
 /// Precision / recall / F1 of one query's answer set (paper Eq. 14).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -241,6 +276,63 @@ impl MatchingTask {
             multi,
             k,
         }
+    }
+
+    /// Shard-local view for the serving layer: the members at `indices`
+    /// (ascending global order), cloned into a standalone task. Skips the
+    /// `k + 2` minimum-size guard — a shard is a scan target, never a
+    /// ground-truth provider, and may legitimately hold one series.
+    pub(crate) fn subset(&self, indices: &[usize]) -> MatchingTask {
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "shard members must be ascending"
+        );
+        MatchingTask {
+            clean: indices.iter().map(|&i| self.clean[i].clone()).collect(),
+            uncertain: indices.iter().map(|&i| self.uncertain[i].clone()).collect(),
+            multi: self
+                .multi
+                .as_ref()
+                .map(|m| indices.iter().map(|&i| m[i].clone()).collect()),
+            k: self.k,
+        }
+    }
+
+    /// Copy of this task with member `i` replaced — the serving layer's
+    /// mutation primitive. Validates the replacement against the task's
+    /// shape: lengths must match the member it replaces, and the
+    /// multi-observation side must be supplied iff the task carries one.
+    pub(crate) fn with_replaced(
+        &self,
+        i: usize,
+        clean: TimeSeries,
+        uncertain: UncertainSeries,
+        multi: Option<MultiObsSeries>,
+    ) -> MatchingTask {
+        assert!(i < self.len(), "replacement index out of range");
+        assert_eq!(
+            clean.len(),
+            self.clean[i].len(),
+            "replacement series length mismatch"
+        );
+        assert_eq!(
+            uncertain.len(),
+            clean.len(),
+            "clean/uncertain series length mismatch"
+        );
+        assert_eq!(
+            self.multi.is_some(),
+            multi.is_some(),
+            "replacement must carry multi-observation data iff the task does"
+        );
+        let mut out = self.clone();
+        out.clean[i] = clean;
+        out.uncertain[i] = uncertain;
+        if let (Some(m), Some(new_m)) = (out.multi.as_mut(), multi) {
+            assert_eq!(new_m.len(), m[i].len(), "multi-obs series length mismatch");
+            m[i] = new_m;
+        }
+        out
     }
 
     /// Number of series in the task.
@@ -472,23 +564,45 @@ impl MatchingTask {
 
     /// Top-k nearest neighbours of query `q` under the technique's
     /// distance (self excluded), `(index, distance)` sorted ascending by
-    /// distance then index; `None` for the probabilistic techniques.
+    /// distance then index.
+    ///
+    /// An empty task never occurs and `k` larger than the candidate
+    /// count truncates, so `Ok` always carries the `min(k, len − 1)`
+    /// nearest members; the error cases are typed instead of collapsing
+    /// into a bare `None`:
+    ///
+    /// * [`TaskError::NotDistanceRanked`] — the technique is
+    ///   probabilistic (MUNICH, PROUD). These rank by `Pr(dist ≤ ε)`,
+    ///   not by a distance, so "top-k nearest" is not a well-posed
+    ///   question for them (use [`MatchingTask::probabilities`] and
+    ///   threshold at τ instead). Answered *without* preparing — MUNICH
+    ///   preparation would demand multi-observation data and build every
+    ///   envelope for nothing.
+    /// * [`TaskError::Prepare`] — the engine could not be prepared for
+    ///   this task (unreachable for today's distance techniques, whose
+    ///   preparation is infallible; kept so the contract survives
+    ///   fallible preparations).
     ///
     /// One-shot convenience over [`crate::engine::QueryEngine`]
     /// (early-abandoned selection scan).
-    pub fn top_k(&self, q: usize, technique: &Technique, k: usize) -> Option<Vec<(usize, f64)>> {
+    pub fn top_k(
+        &self,
+        q: usize,
+        technique: &Technique,
+        k: usize,
+    ) -> Result<Vec<(usize, f64)>, TaskError> {
         assert!(q < self.len(), "query index out of range");
         assert!(k > 0, "k must be positive");
-        // The probabilistic techniques have no distance ranking: answer
-        // `None` without preparing (MUNICH preparation would demand
-        // multi-observation data and build every envelope for nothing).
         if matches!(
             technique,
             Technique::Proud { .. } | Technique::Munich { .. }
         ) {
-            return None;
+            return Err(TaskError::NotDistanceRanked(technique.kind()));
         }
-        crate::engine::QueryEngine::prepare(self, technique).top_k(q, k)
+        let engine = crate::engine::QueryEngine::try_prepare(self, technique)?;
+        Ok(engine
+            .top_k(q, k)
+            .expect("distance techniques rank by distance"))
     }
 
     /// Reference implementation of [`MatchingTask::top_k`]: full distance

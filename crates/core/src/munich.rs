@@ -50,7 +50,7 @@
 //!    which is then *bit-identical* to the naive path.
 //!
 //! The per-timestamp squared-difference distributions feeding stages 2–3
-//! are computed once per pair ([`PairContribs`] internally) instead of
+//! are computed once per pair (`PairContribs` internally) instead of
 //! once per strategy attempt, and the exact DP folds them tightest-first
 //! (largest guaranteed contribution first) so the running bounds converge
 //! as fast as possible.

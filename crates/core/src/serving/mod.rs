@@ -1,0 +1,433 @@
+//! Sharded concurrent serving layer: one collection, N prepared shard
+//! engines, deterministic merges, and a cross-query result cache.
+//!
+//! # Why a serving layer
+//!
+//! The batched [`QueryEngine`] answers one query against one prepared
+//! collection. A serving workload adds two
+//! pressures the engine alone does not address:
+//!
+//! * **Concurrency** — a single range/top-k scan is sequential per
+//!   candidate (MUNICH excepted); partitioning the collection across
+//!   shards lets one query occupy every core, with each shard running
+//!   the same early-abandon kernels over its slice.
+//! * **Skew** — real query streams are Zipf-shaped; the same few
+//!   queries repeat. A result cache keyed by `(technique, query, ε/k)`
+//!   turns repeats into a map probe.
+//!
+//! # The equivalence contract
+//!
+//! Sharding is an execution strategy, not a semantics change: every
+//! entry point returns results **bit-identical** to the unsharded
+//! engine, for any shard count and either assignment strategy. The
+//! pieces of that argument:
+//!
+//! 1. Shard member lists are ascending in global index
+//!    ([`ShardPlan`]), so a shard's local scan order is global scan
+//!    order restricted to that shard.
+//! 2. Range and probability decisions are per-candidate — independent
+//!    of which other candidates share the scan — so per-shard answers
+//!    union (in series order, [`merge_answer_sets`] /
+//!    [`merge_scored_by_index`]) to exactly the flat answer.
+//! 3. Per-shard top-k selections run with a *looser* early-abandon
+//!    limit than the global scan (the k-th best of a subset is no
+//!    closer than the global k-th best), so every globally surviving
+//!    candidate survives its shard too, with a distance that does not
+//!    depend on the limit (fixed accumulation order). The bounded
+//!    [`merge_top_k`] then resolves ties by the same
+//!    `(distance, global index)` order the flat scan uses.
+//!
+//! The contract is enforced by `tests/serving_equivalence.rs` across
+//! all six techniques and shard counts `{1, 2, 4, 7}`, and by property
+//! tests over random collection sizes and shard counts.
+
+pub mod cache;
+pub mod merge;
+pub mod shard;
+
+pub use cache::{CacheKey, CacheOp, CacheStats, CachedAnswer, ResultCache};
+pub use merge::{merge_answer_sets, merge_scored_by_index, merge_top_k};
+pub use shard::{ShardAssignment, ShardPlan};
+
+use std::sync::Arc;
+
+use uts_tseries::TimeSeries;
+use uts_uncertain::{MultiObsSeries, UncertainSeries};
+
+use crate::engine::{PrepareError, QueryEngine, QueryRef};
+use crate::matching::{MatchingTask, TaskError, Technique};
+use crate::parallel::parallel_map;
+
+/// Default bound on resident cache entries (see [`ResultCache`]).
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// A collection partitioned across shard engines, serving range, top-k
+/// and probability queries concurrently with cached, deterministic
+/// answers.
+///
+/// Each shard owns a prepared [`QueryEngine`] over its slice of the
+/// collection (`QueryEngine<Arc<MatchingTask>>` — the owning form of
+/// the same engine the batch protocols borrow). A query resolves its
+/// prepared view once on its owner shard, fans out across all shards
+/// on a scoped worker pool, and merges deterministically.
+///
+/// # Example: sharded top-k is bit-identical to unsharded
+///
+/// ```
+/// use uts_core::engine::QueryEngine;
+/// use uts_core::matching::{MatchingTask, Technique};
+/// use uts_core::serving::{ShardAssignment, ShardedEngine};
+/// use uts_tseries::TimeSeries;
+/// use uts_uncertain::{ErrorFamily, PointError, UncertainSeries};
+///
+/// let e = PointError::new(ErrorFamily::Normal, 0.1);
+/// let clean: Vec<TimeSeries> = (0..9)
+///     .map(|i| TimeSeries::from_values((0..12).map(|t| ((t * (i + 1)) as f64 / 5.0).cos())))
+///     .collect();
+/// let uncertain: Vec<UncertainSeries> = clean
+///     .iter()
+///     .map(|c| UncertainSeries::new(c.values().to_vec(), vec![e; 12]))
+///     .collect();
+/// let task = MatchingTask::new(clean, uncertain, None, 3);
+///
+/// let flat = QueryEngine::prepare(&task, &Technique::Euclidean);
+/// let sharded = ShardedEngine::prepare(
+///     &task,
+///     &Technique::Euclidean,
+///     4, // does not divide 9: shard sizes 3/2/2/2
+///     ShardAssignment::RoundRobin,
+/// );
+/// for q in 0..task.len() {
+///     assert_eq!(*sharded.top_k(q, 3).unwrap(), flat.top_k(q, 3).unwrap());
+/// }
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine {
+    technique: Technique,
+    plan: ShardPlan,
+    shards: Vec<QueryEngine<Arc<MatchingTask>>>,
+    cache: ResultCache,
+}
+
+impl ShardedEngine {
+    /// Partitions `task` across `shards` shards and prepares one engine
+    /// per shard.
+    ///
+    /// # Panics
+    /// If `shards == 0`, or for [`Technique::Munich`] when the task
+    /// holds no multi-observation data ([`ShardedEngine::try_prepare`]
+    /// reports the latter as a typed [`PrepareError`] instead).
+    pub fn prepare(
+        task: &MatchingTask,
+        technique: &Technique,
+        shards: usize,
+        assignment: ShardAssignment,
+    ) -> Self {
+        Self::try_prepare(task, technique, shards, assignment).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`ShardedEngine::prepare`].
+    pub fn try_prepare(
+        task: &MatchingTask,
+        technique: &Technique,
+        shards: usize,
+        assignment: ShardAssignment,
+    ) -> Result<Self, PrepareError> {
+        let plan = ShardPlan::new(task.len(), shards, assignment);
+        let shards = (0..plan.shard_count())
+            .map(|s| {
+                let shard_task = Arc::new(task.subset(plan.members(s)));
+                QueryEngine::try_prepare(shard_task, technique)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            technique: technique.clone(),
+            plan,
+            shards,
+            cache: ResultCache::new(DEFAULT_CACHE_CAPACITY),
+        })
+    }
+
+    /// The technique every shard was prepared for.
+    pub fn technique(&self) -> &Technique {
+        &self.technique
+    }
+
+    /// The shard plan (member lists and the global ↔ local maps).
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of series served.
+    pub fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plan.is_empty()
+    }
+
+    /// Point-in-time cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The prepared query view of global member `q`, resolved on its
+    /// owner shard.
+    fn query_view(&self, q: usize) -> (usize, usize, QueryRef<'_>) {
+        assert!(q < self.plan.len(), "query index out of range");
+        let (owner, local) = self.plan.owner_of(q);
+        (owner, local, self.shards[owner].query_ref(local))
+    }
+
+    /// `exclude` argument for shard `s` when the query lives at
+    /// `(owner, local)`: only the owner shard skips a member.
+    fn exclude_for(s: usize, owner: usize, local: usize) -> Option<usize> {
+        (s == owner).then_some(local)
+    }
+
+    /// Range query: all members within `epsilon` of member `q` (self
+    /// excluded), ascending global indices. Bit-identical to the
+    /// unsharded [`QueryEngine::answer_set`]; repeated calls hit the
+    /// cache.
+    pub fn answer_set(&self, q: usize, epsilon: f64) -> Arc<Vec<usize>> {
+        let key = CacheKey {
+            technique: self.technique.kind(),
+            query: q,
+            op: CacheOp::range(epsilon),
+        };
+        if let Some(CachedAnswer::Indices(hit)) = self.cache.get(&key) {
+            return hit;
+        }
+        let (owner, local, query) = self.query_view(q);
+        let ids: Vec<usize> = (0..self.shards.len()).collect();
+        let per_shard = parallel_map(&ids, |&s| {
+            self.shards[s]
+                .answer_set_ref(&query, epsilon, Self::exclude_for(s, owner, local))
+                .into_iter()
+                .map(|l| self.plan.global_of(s, l))
+                .collect::<Vec<_>>()
+        });
+        let merged = Arc::new(merge_answer_sets(&per_shard));
+        self.cache
+            .insert(key, CachedAnswer::Indices(merged.clone()));
+        merged
+    }
+
+    /// Top-k nearest neighbours of member `q` (self excluded), as
+    /// `(global index, distance)` ascending by distance then index.
+    /// Bit-identical to the unsharded [`QueryEngine::top_k`]; repeated
+    /// calls hit the cache.
+    ///
+    /// # Errors
+    /// [`TaskError::NotDistanceRanked`] for the probabilistic
+    /// techniques (MUNICH, PROUD) — they rank by `Pr(dist ≤ ε)`, not a
+    /// distance; use [`ShardedEngine::probabilities`] instead.
+    ///
+    /// # Panics
+    /// If `q` is out of range or `k == 0`.
+    pub fn top_k(&self, q: usize, k: usize) -> Result<Arc<Vec<(usize, f64)>>, TaskError> {
+        if matches!(
+            self.technique,
+            Technique::Munich { .. } | Technique::Proud { .. }
+        ) {
+            return Err(TaskError::NotDistanceRanked(self.technique.kind()));
+        }
+        assert!(k > 0, "k must be positive");
+        let key = CacheKey {
+            technique: self.technique.kind(),
+            query: q,
+            op: CacheOp::top_k(k),
+        };
+        if let Some(CachedAnswer::Scored(hit)) = self.cache.get(&key) {
+            return Ok(hit);
+        }
+        let (owner, local, query) = self.query_view(q);
+        let ids: Vec<usize> = (0..self.shards.len()).collect();
+        let per_shard = parallel_map(&ids, |&s| {
+            self.shards[s]
+                .top_k_ref(&query, k, Self::exclude_for(s, owner, local))
+                .expect("distance-ranked technique")
+                .into_iter()
+                .map(|(l, d)| (self.plan.global_of(s, l), d))
+                .collect::<Vec<_>>()
+        });
+        let merged = Arc::new(merge_top_k(&per_shard, k));
+        self.cache.insert(key, CachedAnswer::Scored(merged.clone()));
+        Ok(merged)
+    }
+
+    /// `Pr(distance(q, i) ≤ ε)` for every member `i ≠ q`, as
+    /// `(global index, probability)` ascending by index — `None` for
+    /// non-probabilistic techniques. Bit-identical to the unsharded
+    /// [`QueryEngine::probabilities`]; repeated calls hit the cache.
+    pub fn probabilities(&self, q: usize, epsilon: f64) -> Option<Arc<Vec<(usize, f64)>>> {
+        if !matches!(
+            self.technique,
+            Technique::Munich { .. } | Technique::Proud { .. }
+        ) {
+            return None;
+        }
+        let key = CacheKey {
+            technique: self.technique.kind(),
+            query: q,
+            op: CacheOp::probabilities(epsilon),
+        };
+        if let Some(CachedAnswer::Scored(hit)) = self.cache.get(&key) {
+            return Some(hit);
+        }
+        let (owner, local, query) = self.query_view(q);
+        let ids: Vec<usize> = (0..self.shards.len()).collect();
+        let per_shard = parallel_map(&ids, |&s| {
+            self.shards[s]
+                .probabilities_ref(&query, epsilon, Self::exclude_for(s, owner, local))
+                .expect("probabilistic technique")
+                .into_iter()
+                .map(|(l, p)| (self.plan.global_of(s, l), p))
+                .collect::<Vec<_>>()
+        });
+        let merged = Arc::new(merge_scored_by_index(&per_shard));
+        self.cache.insert(key, CachedAnswer::Scored(merged.clone()));
+        Some(merged)
+    }
+
+    /// Replaces global member `i` with new clean/uncertain (and, iff
+    /// the task carries one, multi-observation) series, re-prepares the
+    /// owner shard, and invalidates the result cache — the mutation
+    /// path that keeps cached answers from outliving the data.
+    ///
+    /// Only the owner shard pays the re-preparation cost; the other
+    /// shards' prepared state is untouched.
+    ///
+    /// # Example: mutation invalidates the cache
+    ///
+    /// ```
+    /// use uts_core::matching::{MatchingTask, Technique};
+    /// use uts_core::serving::{ShardAssignment, ShardedEngine};
+    /// use uts_tseries::TimeSeries;
+    /// use uts_uncertain::{ErrorFamily, PointError, UncertainSeries};
+    ///
+    /// let e = PointError::new(ErrorFamily::Normal, 0.1);
+    /// let clean: Vec<TimeSeries> = (0..6)
+    ///     .map(|i| TimeSeries::from_values((0..8).map(|t| (t + i) as f64)))
+    ///     .collect();
+    /// let uncertain: Vec<UncertainSeries> = clean
+    ///     .iter()
+    ///     .map(|c| UncertainSeries::new(c.values().to_vec(), vec![e; 8]))
+    ///     .collect();
+    /// let task = MatchingTask::new(clean, uncertain, None, 2);
+    ///
+    /// let mut serving = ShardedEngine::prepare(
+    ///     &task,
+    ///     &Technique::Euclidean,
+    ///     2,
+    ///     ShardAssignment::Contiguous,
+    /// );
+    /// let before = serving.top_k(0, 2).unwrap();
+    /// assert!(std::sync::Arc::ptr_eq(&before, &serving.top_k(0, 2).unwrap())); // cache hit
+    ///
+    /// // Move series 1 far away; the cached ranking must not survive.
+    /// let far = TimeSeries::from_values((0..8).map(|_| 1e6));
+    /// let far_u = UncertainSeries::new(far.values().to_vec(), vec![e; 8]);
+    /// serving.update_series(1, far, far_u, None);
+    /// assert_eq!(serving.cache_stats().generation, 1);
+    /// let after = serving.top_k(0, 2).unwrap();
+    /// assert!(!after.iter().any(|&(i, _)| i == 1), "series 1 is no longer near");
+    /// ```
+    ///
+    /// # Panics
+    /// If `i` is out of range, the replacement lengths differ from the
+    /// original, or multi-observation presence disagrees with the task.
+    pub fn update_series(
+        &mut self,
+        i: usize,
+        clean: TimeSeries,
+        uncertain: UncertainSeries,
+        multi: Option<MultiObsSeries>,
+    ) {
+        assert!(i < self.plan.len(), "series index out of range");
+        let (owner, local) = self.plan.owner_of(i);
+        let updated = Arc::new(
+            self.shards[owner]
+                .task()
+                .with_replaced(local, clean, uncertain, multi),
+        );
+        self.shards[owner] = QueryEngine::try_prepare(updated, &self.technique)
+            .expect("replacement preserves the shape the technique was prepared for");
+        self.cache.invalidate();
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use uts_uncertain::{ErrorFamily, PointError};
+
+    fn small_task() -> MatchingTask {
+        let e = PointError::new(ErrorFamily::Normal, 0.1);
+        let clean: Vec<TimeSeries> = (0..7)
+            .map(|i| TimeSeries::from_values((0..10).map(|t| ((t * (i + 2)) as f64 / 4.0).sin())))
+            .collect();
+        let uncertain = clean
+            .iter()
+            .map(|c| UncertainSeries::new(c.values().to_vec(), vec![e; 10]))
+            .collect();
+        MatchingTask::new(clean, uncertain, None, 2)
+    }
+
+    #[test]
+    fn more_shards_than_members_is_served() {
+        let task = small_task();
+        let flat = QueryEngine::prepare(&task, &Technique::Euclidean);
+        let sharded = ShardedEngine::prepare(
+            &task,
+            &Technique::Euclidean,
+            task.len() + 3,
+            ShardAssignment::RoundRobin,
+        );
+        for q in 0..task.len() {
+            assert_eq!(*sharded.top_k(q, 3).unwrap(), flat.top_k(q, 3).unwrap());
+            assert_eq!(*sharded.answer_set(q, 1.5), flat.answer_set(q, 1.5));
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let task = small_task();
+        let sharded =
+            ShardedEngine::prepare(&task, &Technique::Euclidean, 3, ShardAssignment::Contiguous);
+        let first = sharded.answer_set(2, 1.0);
+        let second = sharded.answer_set(2, 1.0);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = sharded.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // A different ε is a different key.
+        let _ = sharded.answer_set(2, 2.0);
+        assert_eq!(sharded.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn probabilistic_top_k_is_typed_error() {
+        let task = small_task();
+        let technique = Technique::Proud {
+            proud: crate::proud::Proud::default(),
+            tau: 0.5,
+        };
+        let sharded = ShardedEngine::prepare(&task, &technique, 2, ShardAssignment::RoundRobin);
+        assert_eq!(
+            sharded.top_k(0, 3),
+            Err(TaskError::NotDistanceRanked(crate::TechniqueKind::Proud))
+        );
+        assert!(sharded.probabilities(0, 1.0).is_some());
+        // And the distance techniques have no probabilities.
+        let euclid =
+            ShardedEngine::prepare(&task, &Technique::Euclidean, 2, ShardAssignment::RoundRobin);
+        assert!(euclid.probabilities(0, 1.0).is_none());
+    }
+}

@@ -1,0 +1,347 @@
+//! Sharded-vs-unsharded equivalence suite: for every [`Technique`], the
+//! [`ShardedEngine`] must return *bit-identical* answer sets, top-k
+//! results and probabilities to the unsharded [`QueryEngine`] — for
+//! every shard count (including counts that do not divide the
+//! collection) and both assignment strategies — plus the cache
+//! contracts (hit ≡ miss, invalidation on mutation, thread-safety) and
+//! property tests over random collection/shard shapes.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use uts_core::dust::Dust;
+use uts_core::engine::QueryEngine;
+use uts_core::matching::{MatchingTask, TaskError, Technique};
+use uts_core::munich::Munich;
+use uts_core::proud::{Proud, ProudConfig};
+use uts_core::serving::{ShardAssignment, ShardedEngine};
+use uts_core::uma::{Uema, Uma};
+use uts_stats::rng::Seed;
+use uts_tseries::TimeSeries;
+use uts_uncertain::{
+    perturb, perturb_multi, ErrorFamily, ErrorSpec, MultiObsSeries, UncertainSeries,
+};
+
+/// Shard counts exercised everywhere: degenerate (1), dividing and
+/// non-dividing counts for the 12-member workload (2 divides, 7 does
+/// not and leaves shards of size 2 and 1).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+const ASSIGNMENTS: [ShardAssignment; 2] =
+    [ShardAssignment::RoundRobin, ShardAssignment::Contiguous];
+
+fn build_task(seed: u64, n: usize, len: usize, k: usize) -> MatchingTask {
+    let root = Seed::new(seed);
+    let clean: Vec<TimeSeries> = (0..n)
+        .map(|i| {
+            TimeSeries::from_values((0..len).map(|t| {
+                let t = t as f64;
+                (t / 3.0 + i as f64 * 0.5).sin() + 0.3 * (t / 7.0 + i as f64).cos()
+            }))
+            .znormalized()
+        })
+        .collect();
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, 0.4);
+    let uncertain: Vec<UncertainSeries> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, c)| perturb(c, &spec, root.derive("pdf").derive_u64(i as u64)))
+        .collect();
+    let multi: Vec<MultiObsSeries> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, c)| perturb_multi(c, &spec, 3, root.derive("multi").derive_u64(i as u64)))
+        .collect();
+    MatchingTask::new(clean, uncertain, Some(multi), k)
+}
+
+fn techniques() -> Vec<Technique> {
+    vec![
+        Technique::Euclidean,
+        Technique::Dust(Dust::default()),
+        Technique::Uma(Uma::default()),
+        Technique::Uema(Uema::default()),
+        Technique::Proud {
+            proud: Proud::new(ProudConfig::with_sigma(0.4)),
+            tau: 0.4,
+        },
+        Technique::Munich {
+            munich: Munich::default(),
+            tau: 0.4,
+        },
+    ]
+}
+
+fn probe_queries(task: &MatchingTask) -> [usize; 3] {
+    [0, task.len() / 2, task.len() - 1]
+}
+
+/// Range answer sets: sharded ≡ unsharded, all six techniques, all
+/// shard counts, both assignments, sparse and dense thresholds.
+#[test]
+fn sharded_answer_sets_bit_identical() {
+    let task = build_task(0x5E41, 12, 20, 3);
+    for technique in techniques() {
+        let flat = QueryEngine::prepare(&task, &technique);
+        for shards in SHARD_COUNTS {
+            for assignment in ASSIGNMENTS {
+                let sharded = ShardedEngine::prepare(&task, &technique, shards, assignment);
+                for q in probe_queries(&task) {
+                    let eps = task.calibrated_threshold(q, &technique);
+                    for scale in [0.5, 1.0, 2.0] {
+                        let e = eps * scale;
+                        assert_eq!(
+                            *sharded.answer_set(q, e),
+                            flat.answer_set(q, e),
+                            "{} shards={shards} {assignment:?} q={q} eps={e}",
+                            technique.kind()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Top-k: identical indices and bit-identical distances for the
+/// distance techniques; the typed [`TaskError::NotDistanceRanked`] for
+/// the probabilistic ones.
+#[test]
+fn sharded_top_k_bit_identical() {
+    let task = build_task(0x5E42, 12, 20, 3);
+    for technique in techniques() {
+        let flat = QueryEngine::prepare(&task, &technique);
+        for shards in SHARD_COUNTS {
+            for assignment in ASSIGNMENTS {
+                let sharded = ShardedEngine::prepare(&task, &technique, shards, assignment);
+                for q in probe_queries(&task) {
+                    for k in [1, 3, task.len() - 1] {
+                        match (sharded.top_k(q, k), flat.top_k(q, k)) {
+                            (Ok(s), Some(f)) => {
+                                assert_eq!(s.len(), f.len());
+                                for (a, b) in s.iter().zip(&f) {
+                                    assert_eq!(
+                                        (a.0, a.1.to_bits()),
+                                        (b.0, b.1.to_bits()),
+                                        "{} shards={shards} {assignment:?} q={q} k={k}",
+                                        technique.kind()
+                                    );
+                                }
+                            }
+                            (Err(TaskError::NotDistanceRanked(kind)), None) => {
+                                assert_eq!(kind, technique.kind());
+                            }
+                            (s, f) => panic!(
+                                "{} shards={shards} q={q} k={k}: sharded {s:?} vs flat {f:?}",
+                                technique.kind()
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Probabilities: bit-identical per-candidate values for PROUD and
+/// MUNICH; `None` from both layers for the distance techniques.
+#[test]
+fn sharded_probabilities_bit_identical() {
+    let task = build_task(0x5E43, 12, 20, 3);
+    for technique in techniques() {
+        let flat = QueryEngine::prepare(&task, &technique);
+        for shards in SHARD_COUNTS {
+            for assignment in ASSIGNMENTS {
+                let sharded = ShardedEngine::prepare(&task, &technique, shards, assignment);
+                for q in probe_queries(&task) {
+                    let eps = task.calibrated_threshold(q, &technique);
+                    match (sharded.probabilities(q, eps), flat.probabilities(q, eps)) {
+                        (Some(s), Some(f)) => {
+                            assert_eq!(s.len(), f.len());
+                            for (a, b) in s.iter().zip(&f) {
+                                assert_eq!(
+                                    (a.0, a.1.to_bits()),
+                                    (b.0, b.1.to_bits()),
+                                    "{} shards={shards} {assignment:?} q={q}",
+                                    technique.kind()
+                                );
+                            }
+                        }
+                        (None, None) => {}
+                        (s, f) => panic!(
+                            "{} shards={shards} q={q}: sharded {s:?} vs flat {f:?}",
+                            technique.kind()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache contracts
+// ---------------------------------------------------------------------------
+
+/// A cache hit returns the very allocation the miss computed — hit ≡
+/// miss by construction — and the counters see both.
+#[test]
+fn cache_hit_is_identical_to_miss() {
+    let task = build_task(0x5E44, 12, 20, 3);
+    let sharded =
+        ShardedEngine::prepare(&task, &Technique::Euclidean, 4, ShardAssignment::RoundRobin);
+    let eps = task.calibrated_threshold(0, &Technique::Euclidean);
+    let miss = sharded.answer_set(0, eps);
+    let hit = sharded.answer_set(0, eps);
+    assert!(Arc::ptr_eq(&miss, &hit));
+    let k_miss = sharded.top_k(1, 3).unwrap();
+    let k_hit = sharded.top_k(1, 3).unwrap();
+    assert!(Arc::ptr_eq(&k_miss, &k_hit));
+    let stats = sharded.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (2, 2, 2));
+}
+
+/// `update_series` on a sharded engine is equivalent to rebuilding from
+/// the mutated collection: the stale cached answer is dropped and the
+/// re-prepared owner shard serves the new data, bit-identical to a
+/// from-scratch unsharded engine.
+#[test]
+fn update_series_matches_full_rebuild() {
+    let seed = 0x5E45;
+    let (n, len, k) = (12, 20, 3);
+    let task = build_task(seed, n, len, k);
+    let technique = Technique::Dust(Dust::default());
+    let victim = 5;
+
+    // The replacement: a fresh perturbation of a shifted clean series.
+    let root = Seed::new(seed);
+    let new_clean =
+        TimeSeries::from_values((0..len).map(|t| ((t as f64) / 2.0 + 9.0).sin())).znormalized();
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, 0.4);
+    let new_uncertain = perturb(&new_clean, &spec, root.derive("replacement"));
+    let new_multi = perturb_multi(&new_clean, &spec, 3, root.derive("replacement-multi"));
+
+    // Rebuilt-from-scratch reference task with the same replacement.
+    let mut clean: Vec<TimeSeries> = task.clean().to_vec();
+    let mut uncertain: Vec<UncertainSeries> = task.uncertain().to_vec();
+    let mut multi: Vec<MultiObsSeries> = task.multi().unwrap().to_vec();
+    clean[victim] = new_clean.clone();
+    uncertain[victim] = new_uncertain.clone();
+    multi[victim] = new_multi.clone();
+    let rebuilt = MatchingTask::new(clean, uncertain, Some(multi), k);
+    let reference = QueryEngine::prepare(&rebuilt, &technique);
+
+    for shards in SHARD_COUNTS {
+        let mut sharded =
+            ShardedEngine::prepare(&task, &technique, shards, ShardAssignment::RoundRobin);
+        // Warm the cache with pre-mutation answers for every probe query.
+        let eps = task.calibrated_threshold(0, &technique);
+        for q in probe_queries(&task) {
+            let _ = sharded.answer_set(q, eps);
+            let _ = sharded.top_k(q, k);
+        }
+        sharded.update_series(
+            victim,
+            new_clean.clone(),
+            new_uncertain.clone(),
+            Some(new_multi.clone()),
+        );
+        assert_eq!(sharded.cache_stats().generation, 1, "shards={shards}");
+        assert_eq!(sharded.cache_stats().entries, 0, "shards={shards}");
+        for q in probe_queries(&task) {
+            assert_eq!(
+                *sharded.answer_set(q, eps),
+                reference.answer_set(q, eps),
+                "shards={shards} q={q}"
+            );
+            let s = sharded.top_k(q, k).unwrap();
+            let f = reference.top_k(q, k).unwrap();
+            for (a, b) in s.iter().zip(&f) {
+                assert_eq!(
+                    (a.0, a.1.to_bits()),
+                    (b.0, b.1.to_bits()),
+                    "shards={shards} q={q}"
+                );
+            }
+        }
+    }
+}
+
+/// Many threads hammering the same sharded engine — same and different
+/// keys — all observe the unsharded answers; the cache never serves a
+/// divergent value.
+#[test]
+fn concurrent_queries_are_consistent() {
+    let task = build_task(0x5E46, 12, 20, 3);
+    let technique = Technique::Euclidean;
+    let flat = QueryEngine::prepare(&task, &technique);
+    let sharded = ShardedEngine::prepare(&task, &technique, 4, ShardAssignment::RoundRobin);
+    let expected: Vec<Vec<usize>> = (0..task.len())
+        .map(|q| flat.answer_set(q, task.calibrated_threshold(q, &technique)))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let sharded = &sharded;
+            let task = &task;
+            let expected = &expected;
+            let technique = &technique;
+            scope.spawn(move || {
+                // Each thread walks the queries from a different offset,
+                // so cold misses, races on the same key and warm hits all
+                // occur across the pool.
+                for round in 0..3 {
+                    for q in 0..task.len() {
+                        let q = (q + t * 2 + round) % task.len();
+                        let eps = task.calibrated_threshold(q, technique);
+                        assert_eq!(*sharded.answer_set(q, eps), expected[q], "thread={t} q={q}");
+                    }
+                }
+            });
+        }
+    });
+    let stats = sharded.cache_stats();
+    assert_eq!(stats.hits + stats.misses, 8 * 3 * task.len() as u64);
+    assert!(stats.entries <= task.len());
+}
+
+// ---------------------------------------------------------------------------
+// Shard-boundary property tests
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random collection size × shard count × assignment: the sharded
+    /// merge equals the naive reference for top-k (indices and bit-level
+    /// distances) and range answers — the boundary cases a fixed-size
+    /// suite can miss (empty shards, size-1 shards, k beyond shard
+    /// sizes).
+    #[test]
+    fn random_shapes_match_naive(
+        seed in any::<u64>(),
+        n in 6usize..18,
+        shards in 1usize..9,
+        assignment in prop::sample::select(ASSIGNMENTS.to_vec()),
+        k in 1usize..6,
+    ) {
+        let k = k.min(n - 2);
+        let task = build_task(seed, n, 12, k.max(1));
+        let technique = Technique::Euclidean;
+        let sharded = ShardedEngine::prepare(&task, &technique, shards, assignment);
+        for q in [0, n / 2, n - 1] {
+            let eps = task.calibrated_threshold(q, &technique);
+            prop_assert_eq!(
+                &*sharded.answer_set(q, eps),
+                &task.answer_set_naive(q, &technique, eps)
+            );
+            let s = sharded.top_k(q, k.max(1)).unwrap();
+            let naive = task.top_k_naive(q, &technique, k.max(1)).unwrap();
+            prop_assert_eq!(s.len(), naive.len());
+            for (a, b) in s.iter().zip(&naive) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+    }
+}

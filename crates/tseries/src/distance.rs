@@ -57,6 +57,26 @@ pub fn euclidean(x: &[f64], y: &[f64]) -> f64 {
 /// running sum is monotone, so coarser checks abandon at the same
 /// candidates while keeping the inner loop branch-free.
 ///
+/// ```
+/// use uts_tseries::{euclidean, euclidean_squared_early_abandon, squared_cutoff};
+///
+/// let x = [0.0; 16];
+/// let near = [0.1; 16];
+/// let far = [10.0; 16];
+///
+/// // `squared_cutoff(eps)` turns a distance threshold into the squared
+/// // limit: the pair within ε survives with its exact squared sum...
+/// let eps = 1.0;
+/// let limit = squared_cutoff(eps);
+/// let s = euclidean_squared_early_abandon(&x, &near, limit).unwrap();
+/// assert_eq!(s.sqrt(), euclidean(&x, &near));
+/// assert!(euclidean(&x, &near) <= eps);
+///
+/// // ...and the pair beyond ε is abandoned mid-scan.
+/// assert_eq!(euclidean_squared_early_abandon(&x, &far, limit), None);
+/// assert!(euclidean(&x, &far) > eps);
+/// ```
+///
 /// # Panics
 /// If the slices have different lengths.
 pub fn euclidean_squared_early_abandon(x: &[f64], y: &[f64], limit: f64) -> Option<f64> {

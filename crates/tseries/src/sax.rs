@@ -3,7 +3,8 @@
 //! ref. \[24\]).
 //!
 //! SAX discretises a z-normalised series in two steps: PAA reduction to
-//! `w` segments ([`crate::paa`]), then quantisation of each segment mean
+//! `w` segments ([`mod@crate::paa`]), then quantisation of each segment
+//! mean
 //! into one of `a` symbols using breakpoints that make the symbols
 //! equiprobable under the standard normal distribution (z-normalised
 //! series are approximately Gaussian pointwise). The symbolic distance

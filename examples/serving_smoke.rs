@@ -1,0 +1,124 @@
+//! Serving-layer smoke check — CI's sharded-equivalence guard.
+//!
+//! ```sh
+//! cargo run --release --example serving_smoke
+//! ```
+//!
+//! Prepares the same collection unsharded and sharded (a shard count
+//! that does not divide the collection), replays a mixed range / top-k
+//! / probability workload through both, and asserts bit-identical
+//! answers plus a working result cache — the serving layer's two
+//! contracts, checked in seconds without a full criterion capture.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use uncertts::core::engine::QueryEngine;
+use uncertts::core::matching::{MatchingTask, Technique};
+use uncertts::core::proud::{Proud, ProudConfig};
+use uncertts::core::serving::{ShardAssignment, ShardedEngine};
+use uncertts::core::uma::Uma;
+use uncertts::stats::rng::Seed;
+use uncertts::tseries::TimeSeries;
+use uncertts::uncertain::{perturb, perturb_multi, ErrorFamily, ErrorSpec};
+
+fn main() {
+    let seed = Seed::new(0x5E4E);
+    let n = 23; // deliberately prime: no shard count divides it
+    let len = 100;
+    let sigma = 0.5;
+    let clean: Vec<TimeSeries> = (0..n)
+        .map(|i| {
+            TimeSeries::from_values((0..len).map(|t| {
+                let t = t as f64;
+                (t / 5.0 + i as f64 * 0.4).sin() + 0.3 * (t / 13.0 + i as f64).cos()
+            }))
+            .znormalized()
+        })
+        .collect();
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, sigma);
+    let uncertain: Vec<_> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, c)| perturb(c, &spec, seed.derive("pdf").derive_u64(i as u64)))
+        .collect();
+    let multi: Vec<_> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, c)| perturb_multi(c, &spec, 3, seed.derive("multi").derive_u64(i as u64)))
+        .collect();
+    let task = MatchingTask::new(clean, uncertain, Some(multi), 3);
+
+    let techniques: Vec<(&str, Technique)> = vec![
+        ("euclidean", Technique::Euclidean),
+        ("uma", Technique::Uma(Uma::default())),
+        (
+            "proud",
+            Technique::Proud {
+                proud: Proud::new(ProudConfig::with_sigma(sigma)),
+                tau: 0.4,
+            },
+        ),
+    ];
+    let queries: Vec<usize> = (0..n).step_by(4).collect();
+    let shards = 4; // 23 = 4·5 + 3: shard sizes 6/6/6/5
+
+    let t0 = Instant::now();
+    for (name, technique) in &techniques {
+        let flat = QueryEngine::prepare(&task, technique);
+        let sharded = ShardedEngine::prepare(&task, technique, shards, ShardAssignment::RoundRobin);
+        for &q in &queries {
+            let eps = task.calibrated_threshold(q, technique);
+            assert_eq!(
+                *sharded.answer_set(q, eps),
+                flat.answer_set(q, eps),
+                "{name}: sharded range answers diverged (q={q})"
+            );
+            match (sharded.top_k(q, 3), flat.top_k(q, 3)) {
+                (Ok(s), Some(f)) => {
+                    assert!(
+                        s.iter()
+                            .zip(&f)
+                            .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits()),
+                        "{name}: sharded top-k diverged (q={q})"
+                    );
+                }
+                (Err(_), None) => {} // probabilistic: both layers decline
+                (s, f) => panic!("{name}: top-k disagreement {s:?} vs {f:?}"),
+            }
+            if let Some(s) = sharded.probabilities(q, eps) {
+                let f = flat.probabilities(q, eps).expect("both probabilistic");
+                assert!(
+                    s.iter()
+                        .zip(&f)
+                        .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits()),
+                    "{name}: sharded probabilities diverged (q={q})"
+                );
+            }
+        }
+        // Replaying the workload must hit the cache, with the very same
+        // allocations coming back.
+        let q = queries[0];
+        let eps = task.calibrated_threshold(q, technique);
+        let first = sharded.answer_set(q, eps);
+        let again = sharded.answer_set(q, eps);
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "{name}: repeated query missed the cache"
+        );
+        let stats = sharded.cache_stats();
+        assert!(stats.hits > 0, "{name}: no cache hits recorded");
+        println!(
+            "{name}: {} queries sharded ≡ unsharded (cache: {} hits / {} misses)",
+            queries.len(),
+            stats.hits,
+            stats.misses
+        );
+    }
+    println!(
+        "serving smoke ok: {} techniques × {} queries × {shards} shards in {:?}",
+        techniques.len(),
+        queries.len(),
+        t0.elapsed()
+    );
+}
