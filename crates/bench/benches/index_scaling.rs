@@ -1,0 +1,212 @@
+//! Scan-vs-index scaling: the tentpole measurement for the lower-bound
+//! candidate index. Runs range and top-k workloads over clustered
+//! synthetic collections of 10k / 30k / 100k series (override with
+//! `INDEX_SIZES=a,b,c`), with the index forced off and forced on, and
+//! reports per-query medians, QPS, and candidates actually visited.
+//!
+//! The acceptance criterion for the index layer is read straight off
+//! this output: at the largest size, `indexed` must beat `scan` for at
+//! least Euclidean and UMA with `cand/q` far below the collection size.
+//!
+//! Not a criterion bench (the quantity of interest is a same-run A/B at
+//! three collection sizes, not a per-iteration distribution), so it is
+//! a `harness = false` main like `serving_throughput`, with its own
+//! JSON snapshot: set `INDEX_JSON=path` to write `BENCH_index.json`.
+
+use std::time::Instant;
+
+use uts_bench::bench_task_clustered;
+use uts_core::engine::QueryEngine;
+use uts_core::index::IndexConfig;
+use uts_core::matching::{MatchingTask, Technique};
+use uts_core::uma::Uma;
+
+const LEN: usize = 64;
+const SIGMA: f64 = 0.4;
+const K: usize = 10;
+const QUERIES: usize = 16;
+const REPS: usize = 3;
+
+#[derive(Clone, Copy)]
+enum Op {
+    Range,
+    TopK,
+}
+
+impl Op {
+    fn name(self) -> &'static str {
+        match self {
+            Op::Range => "range",
+            Op::TopK => "top_k",
+        }
+    }
+}
+
+struct Row {
+    size: usize,
+    technique: &'static str,
+    op: &'static str,
+    scan_p50_us: f64,
+    indexed_p50_us: f64,
+    scan_qps: f64,
+    indexed_qps: f64,
+    speedup: f64,
+    candidates_per_query: f64,
+    build_ms: f64,
+    leaves: usize,
+}
+
+fn sizes() -> Vec<usize> {
+    match std::env::var("INDEX_SIZES") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .expect("INDEX_SIZES: comma-separated sizes")
+            })
+            .collect(),
+        Err(_) => vec![10_000, 30_000, 100_000],
+    }
+}
+
+fn median_us(mut lat_ns: Vec<u64>) -> f64 {
+    lat_ns.sort_unstable();
+    lat_ns[lat_ns.len() / 2] as f64 / 1_000.0
+}
+
+/// Runs `REPS` passes of `op` over all queries; returns (p50 µs, qps).
+fn run_workload(
+    engine: &QueryEngine<&MatchingTask>,
+    op: Op,
+    queries: &[usize],
+    thresholds: &[f64],
+) -> (f64, f64) {
+    // One warm pass keeps first-touch allocation out of the medians.
+    for (&q, &eps) in queries.iter().zip(thresholds).take(2) {
+        match op {
+            Op::Range => std::hint::black_box(engine.answer_set(q, eps).len()),
+            Op::TopK => std::hint::black_box(engine.top_k(q, K).expect("distance").len()),
+        };
+    }
+    let mut lat_ns = Vec::with_capacity(REPS * queries.len());
+    let wall = Instant::now();
+    let mut guard = 0usize;
+    for _ in 0..REPS {
+        for (&q, &eps) in queries.iter().zip(thresholds) {
+            let t0 = Instant::now();
+            guard += match op {
+                Op::Range => engine.answer_set(q, eps).len(),
+                Op::TopK => engine.top_k(q, K).expect("distance").len(),
+            };
+            lat_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+    std::hint::black_box(guard);
+    ((median_us(lat_ns)), (REPS * queries.len()) as f64 / elapsed)
+}
+
+fn main() {
+    // Under `cargo bench` the harness passes flags (e.g. `--bench`);
+    // accepted and ignored, as in the other harness = false mains.
+    let _ = std::env::args();
+
+    let techniques: [(&'static str, Technique); 2] = [
+        ("euclidean", Technique::Euclidean),
+        ("uma", Technique::Uma(Uma::default())),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for size in sizes() {
+        let t0 = Instant::now();
+        let task = bench_task_clustered(size, LEN, SIGMA, K);
+        eprintln!("generated {size}×{LEN} collection in {:?}", t0.elapsed());
+        let queries: Vec<usize> = (0..QUERIES).map(|j| j * size / QUERIES).collect();
+
+        for (name, technique) in &techniques {
+            let scan = QueryEngine::prepare_with(&task, technique, IndexConfig::disabled());
+            let t0 = Instant::now();
+            let indexed = QueryEngine::prepare_with(&task, technique, IndexConfig::default());
+            let build_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+            let leaves = indexed.index().expect("indexed").leaf_count();
+            // ε calibrated per query (the paper's protocol: distance to
+            // the clean kth neighbour), computed once outside the timers.
+            let thresholds: Vec<f64> = queries
+                .iter()
+                .map(|&q| task.calibrated_threshold(q, technique))
+                .collect();
+
+            for op in [Op::Range, Op::TopK] {
+                let (scan_p50_us, scan_qps) = run_workload(&scan, op, &queries, &thresholds);
+                let before = indexed.index_stats();
+                let (indexed_p50_us, indexed_qps) =
+                    run_workload(&indexed, op, &queries, &thresholds);
+                let delta = indexed.index_stats().since(&before);
+                let row = Row {
+                    size,
+                    technique: name,
+                    op: op.name(),
+                    scan_p50_us,
+                    indexed_p50_us,
+                    scan_qps,
+                    indexed_qps,
+                    speedup: indexed_qps / scan_qps,
+                    candidates_per_query: delta.candidates as f64
+                        / delta.indexed_queries.max(1) as f64,
+                    build_ms,
+                    leaves,
+                };
+                println!(
+                    "n={:>6} {:9} {:6} scan={:>9.1}µs idx={:>9.1}µs speedup={:>5.2}x cand/q={:>8.0} of {:>6} (build {:.1}ms, {} leaves)",
+                    row.size,
+                    row.technique,
+                    row.op,
+                    row.scan_p50_us,
+                    row.indexed_p50_us,
+                    row.speedup,
+                    row.candidates_per_query,
+                    row.size,
+                    row.build_ms,
+                    row.leaves
+                );
+                rows.push(row);
+            }
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"index_scaling\",\n");
+    json.push_str(&format!("  \"series_len\": {LEN},\n"));
+    json.push_str(&format!("  \"sigma\": {SIGMA},\n"));
+    json.push_str(&format!("  \"k\": {K},\n"));
+    json.push_str(&format!("  \"queries\": {QUERIES},\n"));
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"size\": {}, \"technique\": \"{}\", \"op\": \"{}\", \
+             \"scan_p50_us\": {:.2}, \"indexed_p50_us\": {:.2}, \
+             \"scan_qps\": {:.1}, \"indexed_qps\": {:.1}, \"speedup\": {:.2}, \
+             \"candidates_per_query\": {:.1}, \"index_build_ms\": {:.2}, \"leaves\": {}}}{}\n",
+            r.size,
+            r.technique,
+            r.op,
+            r.scan_p50_us,
+            r.indexed_p50_us,
+            r.scan_qps,
+            r.indexed_qps,
+            r.speedup,
+            r.candidates_per_query,
+            r.build_ms,
+            r.leaves,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Ok(path) = std::env::var("INDEX_JSON") {
+        std::fs::write(&path, &json).expect("write index json");
+        println!("wrote {path}");
+    }
+}

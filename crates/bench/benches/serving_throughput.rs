@@ -59,6 +59,9 @@ struct PhaseResult {
     p99_us: f64,
     cache_hits: u64,
     cache_misses: u64,
+    indexed_queries: u64,
+    scan_queries: u64,
+    index_candidates: u64,
 }
 
 /// Inverse-CDF Zipf sampler over ranks `0..n`: rank r has weight
@@ -139,6 +142,7 @@ fn run_phase(
         let _ = run_op(engine, op);
     }
     let before = engine.cache_stats();
+    let index_before = engine.index_stats();
     let mut latencies_ns: Vec<u64> = Vec::with_capacity(workload.len());
     let mut guard = 0usize;
     let wall = Instant::now();
@@ -151,6 +155,7 @@ fn run_phase(
     std::hint::black_box(guard);
     latencies_ns.sort_unstable();
     let after = engine.cache_stats();
+    let index_delta = engine.index_stats().since(&index_before);
     PhaseResult {
         phase,
         technique: technique_name,
@@ -161,6 +166,9 @@ fn run_phase(
         p99_us: percentile(&latencies_ns, 0.99),
         cache_hits: after.hits - before.hits,
         cache_misses: after.misses - before.misses,
+        indexed_queries: index_delta.indexed_queries,
+        scan_queries: index_delta.scan_queries,
+        index_candidates: index_delta.candidates,
     }
 }
 
@@ -220,7 +228,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"phase\": \"{}\", \"technique\": \"{}\", \"shards\": {}, \"ops\": {}, \
              \"qps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
-             \"cache_hits\": {}, \"cache_misses\": {}}}{}\n",
+             \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"indexed_queries\": {}, \"scan_queries\": {}, \"index_candidates\": {}}}{}\n",
             r.phase,
             r.technique,
             r.shards,
@@ -230,6 +239,9 @@ fn main() {
             r.p99_us,
             r.cache_hits,
             r.cache_misses,
+            r.indexed_queries,
+            r.scan_queries,
+            r.index_candidates,
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
@@ -237,9 +249,9 @@ fn main() {
 
     for r in &results {
         println!(
-            "{:4}/{:9} shards={} ops={:5} qps={:>10.1} p50={:>8.2}µs p99={:>8.2}µs hits={} misses={}",
+            "{:4}/{:9} shards={} ops={:5} qps={:>10.1} p50={:>8.2}µs p99={:>8.2}µs hits={} misses={} idx_q={} scan_q={}",
             r.phase, r.technique, r.shards, r.ops, r.qps, r.p50_us, r.p99_us, r.cache_hits,
-            r.cache_misses
+            r.cache_misses, r.indexed_queries, r.scan_queries
         );
     }
     if let Ok(path) = std::env::var("SERVING_JSON") {

@@ -116,6 +116,53 @@ pub fn bench_task_sized(n: usize, sigma: f64, k: usize) -> uts_core::matching::M
     uts_core::matching::MatchingTask::new(d.series, uncertain, Some(multi), k)
 }
 
+/// A clustered synthetic matching task at arbitrary scale — the
+/// `index_scaling` fixture. [`Catalogue::generate_scaled`] can only
+/// *subsample* a catalogue dataset, so collections beyond the
+/// catalogue's size are synthesised directly: sixteen sine-mixture
+/// families with per-member phase and frequency jitter (so SAX packing
+/// sees real locality, as a recorded archive would), z-normalised,
+/// then perturbed under a constant Normal error model. No
+/// multi-observation model — MUNICH bypasses the index, and at 100k
+/// series the samples would dominate the fixture's memory rather than
+/// the measurement.
+pub fn bench_task_clustered(
+    n: usize,
+    len: usize,
+    sigma: f64,
+    k: usize,
+) -> uts_core::matching::MatchingTask {
+    const CLUSTERS: usize = 16;
+    let clean: Vec<uts_tseries::TimeSeries> = (0..n)
+        .map(|i| {
+            let c = (i % CLUSTERS) as f64;
+            let member = (i / CLUSTERS) as f64;
+            let freq = 1.0 / (4.0 + c * 0.7 + member * 1e-4);
+            let phase = c * 0.9 + member * 0.003;
+            uts_tseries::TimeSeries::from_values((0..len).map(|t| {
+                let t = t as f64;
+                (t * freq + phase).sin() + 0.3 * (t * freq * 2.3 + phase * 1.7).cos()
+            }))
+            .znormalized()
+        })
+        .collect();
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, sigma);
+    let uncertain: Vec<UncertainSeries> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            perturb(
+                s,
+                &spec,
+                Seed::new(BENCH_SEED)
+                    .derive("clustered")
+                    .derive_u64(i as u64),
+            )
+        })
+        .collect();
+    uts_core::matching::MatchingTask::new(clean, uncertain, None, k)
+}
+
 /// A pair of multi-observation series (`n` timestamps × `s` samples).
 pub fn bench_multi_pair(n: usize, s: usize, sigma: f64) -> (MultiObsSeries, MultiObsSeries) {
     let d = bench_dataset();

@@ -37,9 +37,18 @@
 //! the same accumulation order and the cutoffs are exact under IEEE
 //! rounding, so answer sets, top-k results and probabilities match the
 //! `*_naive` paths down to the last ulp.
+//!
+//! On top of the prepared state, `prepare` also builds a lower-bound
+//! candidate index ([`crate::index`]) for the value-based techniques
+//! when the collection is large enough: range and top-k queries then
+//! generate candidates sub-linearly (leaf-MBR and per-series PAA bounds)
+//! before the exact kernels decide, with the same bit-identity contract
+//! (admissible bounds never dismiss a true answer; the exact kernel
+//! still makes every accept/reject decision).
 
 use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, RwLock};
 
 use uts_tseries::distance::{
@@ -49,6 +58,7 @@ use uts_tseries::dtw::{lb_keogh_enveloped, DtwOptions, DtwWorkspace, KeoghEnvelo
 use uts_tseries::TimeSeries;
 use uts_uncertain::{MultiObsSeries, PointError, UncertainSeries};
 
+use crate::index::{admits, CandidateIndex, IndexConfig, IndexCounters, IndexStats};
 use crate::matching::{GroundTruth, MatchingTask, QualityScores, Technique};
 use crate::munich::MbiEnvelope;
 use crate::parallel::parallel_map;
@@ -156,6 +166,12 @@ pub struct QueryEngine<T: Borrow<MatchingTask>> {
     task: T,
     technique: Technique,
     state: Prepared,
+    /// Lower-bound candidate index over the technique's value view
+    /// (`None` when the technique bypasses it, the collection is below
+    /// the config's threshold, or indexing is disabled).
+    index: Option<CandidateIndex>,
+    /// Pruning-effectiveness counters across all queries answered.
+    counters: IndexCounters,
     /// LB_Keogh envelopes of every member's value view, lazily built and
     /// cached per band half-width.
     keogh: RwLock<HashMap<usize, Arc<Vec<KeoghEnvelope>>>>,
@@ -175,14 +191,62 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
     }
 
     /// Fallible twin of [`QueryEngine::prepare`].
+    ///
+    /// Uses the default [`IndexConfig`]: collections of at least
+    /// [`crate::index::DEFAULT_MIN_COLLECTION`] members get a candidate
+    /// index for the value-based techniques.
     pub fn try_prepare(task: T, technique: &Technique) -> Result<Self, PrepareError> {
+        Self::try_prepare_with(task, technique, IndexConfig::default())
+    }
+
+    /// [`QueryEngine::prepare`] with an explicit [`IndexConfig`] —
+    /// [`IndexConfig::always`] forces the indexed paths on any
+    /// collection, [`IndexConfig::disabled`] forces the pure scans.
+    ///
+    /// # Panics
+    /// As [`QueryEngine::prepare`].
+    pub fn prepare_with(task: T, technique: &Technique, index: IndexConfig) -> Self {
+        Self::try_prepare_with(task, technique, index).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`QueryEngine::prepare_with`].
+    pub fn try_prepare_with(
+        task: T,
+        technique: &Technique,
+        index: IndexConfig,
+    ) -> Result<Self, PrepareError> {
         let state = Self::build_state(task.borrow(), technique)?;
+        let index = Self::build_index(task.borrow(), technique, &state, &index);
         Ok(Self {
             task,
             technique: technique.clone(),
             state,
+            index,
+            counters: IndexCounters::default(),
             keogh: RwLock::new(HashMap::new()),
         })
+    }
+
+    /// The candidate index over the technique's value view — the
+    /// representation its exact kernel compares: observed values for
+    /// Euclidean, the *filtered* series for UMA/UEMA. DUST, PROUD and
+    /// MUNICH distances are not Euclidean over any stored per-series
+    /// vector, so they bypass the index (their queries count as
+    /// `scan_queries` in [`IndexStats`]).
+    fn build_index(
+        task: &MatchingTask,
+        technique: &Technique,
+        state: &Prepared,
+        cfg: &IndexConfig,
+    ) -> Option<CandidateIndex> {
+        let views: Vec<&[f64]> = match (technique, state) {
+            (Technique::Euclidean, _) => task.uncertain().iter().map(|u| u.values()).collect(),
+            (Technique::Uma(_) | Technique::Uema(_), Prepared::Filtered(filtered)) => {
+                filtered.iter().map(|f| f.values()).collect()
+            }
+            _ => return None,
+        };
+        CandidateIndex::build(&views, cfg)
     }
 
     /// The per-collection precomputation behind
@@ -233,6 +297,22 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
     /// The technique the engine was prepared for.
     pub fn technique(&self) -> &Technique {
         &self.technique
+    }
+
+    /// Whether a candidate index was built at prepare time.
+    pub fn is_indexed(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// The candidate index, when one was built.
+    pub fn index(&self) -> Option<&CandidateIndex> {
+        self.index.as_ref()
+    }
+
+    /// Point-in-time pruning statistics across every range/top-k query
+    /// this engine has answered (indexed or scanned).
+    pub fn index_stats(&self) -> IndexStats {
+        self.counters.snapshot()
     }
 
     /// The prepared query view of member `q` — its own series for the
@@ -289,30 +369,24 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
         let mut out = Vec::new();
         match (&self.technique, &self.state, query) {
             (Technique::Euclidean, _, QueryRef::Uncertain(qu)) => {
-                let cutoff = range_cutoff(epsilon);
                 let qv = qu.values();
-                for i in candidates(n, exclude) {
-                    let iv = task.uncertain()[i].values();
-                    if euclidean_squared_early_abandon(qv, iv, cutoff).is_some() {
-                        out.push(i);
-                    }
-                }
+                out = self.range_select(qv, epsilon, n, exclude, |i, limit| {
+                    euclidean_squared_early_abandon(qv, task.uncertain()[i].values(), limit)
+                });
             }
             (
                 Technique::Uma(_) | Technique::Uema(_),
                 Prepared::Filtered(filtered),
                 QueryRef::Filtered(fq),
             ) => {
-                let cutoff = range_cutoff(epsilon);
                 let qv = fq.values();
-                for i in candidates(n, exclude) {
-                    if euclidean_squared_early_abandon(qv, filtered[i].values(), cutoff).is_some() {
-                        out.push(i);
-                    }
-                }
+                out = self.range_select(qv, epsilon, n, exclude, |i, limit| {
+                    euclidean_squared_early_abandon(qv, filtered[i].values(), limit)
+                });
             }
             (Technique::Dust(d), _, QueryRef::Uncertain(qu)) => {
                 let cutoff = range_cutoff(epsilon);
+                self.counters.scan_queries.fetch_add(1, Ordering::Relaxed);
                 for i in candidates(n, exclude) {
                     if d.distance_sq_early_abandon(qu, &task.uncertain()[i], cutoff)
                         .is_some()
@@ -322,6 +396,7 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
                 }
             }
             (Technique::Proud { proud, tau }, _, QueryRef::Uncertain(qu)) => {
+                self.counters.scan_queries.fetch_add(1, Ordering::Relaxed);
                 for i in candidates(n, exclude) {
                     if proud.matches(qu, &task.uncertain()[i], epsilon, *tau) {
                         out.push(i);
@@ -334,6 +409,7 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
                 QueryRef::Multi(qm, qenv),
             ) => {
                 assert!((0.0..=1.0).contains(tau), "τ must be in [0, 1]");
+                self.counters.scan_queries.fetch_add(1, Ordering::Relaxed);
                 let multi = task
                     .multi()
                     .expect("MUNICH requires multi-observation data in the task");
@@ -453,7 +529,7 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
         match (&self.technique, &self.state, query) {
             (Technique::Euclidean, _, QueryRef::Uncertain(qu)) => {
                 let qv = qu.values();
-                Some(select_top_k(n, exclude, k, |i, limit| {
+                Some(self.top_k_select(qv, k, n, exclude, |i, limit| {
                     euclidean_squared_early_abandon(qv, task.uncertain()[i].values(), limit)
                 }))
             }
@@ -463,11 +539,12 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
                 QueryRef::Filtered(fq),
             ) => {
                 let qv = fq.values();
-                Some(select_top_k(n, exclude, k, |i, limit| {
+                Some(self.top_k_select(qv, k, n, exclude, |i, limit| {
                     euclidean_squared_early_abandon(qv, filtered[i].values(), limit)
                 }))
             }
             (Technique::Dust(d), _, QueryRef::Uncertain(qu)) => {
+                self.counters.scan_queries.fetch_add(1, Ordering::Relaxed);
                 Some(select_top_k(n, exclude, k, |i, limit| {
                     d.distance_sq_early_abandon(qu, &task.uncertain()[i], limit)
                 }))
@@ -533,6 +610,145 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
     /// them — the batching win the engine exists for.
     pub fn evaluate_queries(&self, queries: &[usize]) -> Vec<QualityScores> {
         queries.iter().map(|&q| self.query_quality(q)).collect()
+    }
+
+    /// Range selection over the value view: indexed candidate
+    /// generation when the prepared index can serve this query, exact
+    /// scan otherwise. Either way `dist_sq` (the early-abandon kernel)
+    /// makes every accept/reject decision against the exact ε² cutoff,
+    /// so the answer is bit-identical to the pure scan — the index only
+    /// dismisses candidates whose admissible lower bound proves `d > ε`.
+    fn range_select(
+        &self,
+        qv: &[f64],
+        epsilon: f64,
+        n: usize,
+        exclude: Option<usize>,
+        mut dist_sq: impl FnMut(usize, f64) -> Option<f64>,
+    ) -> Vec<usize> {
+        let cutoff = range_cutoff(epsilon);
+        if let Some(ix) = &self.index {
+            if let Some(qp) = ix.query_synopsis(qv) {
+                self.counters
+                    .indexed_queries
+                    .fetch_add(1, Ordering::Relaxed);
+                let cands = ix.range_candidates(&qp, epsilon, exclude, &self.counters);
+                self.counters
+                    .candidates
+                    .fetch_add(cands.len() as u64, Ordering::Relaxed);
+                return cands
+                    .into_iter()
+                    .filter(|&i| dist_sq(i, cutoff).is_some())
+                    .collect();
+            }
+        }
+        self.counters.scan_queries.fetch_add(1, Ordering::Relaxed);
+        candidates(n, exclude)
+            .filter(|&i| dist_sq(i, cutoff).is_some())
+            .collect()
+    }
+
+    /// Top-k selection over the value view: best-first leaf visitation
+    /// when the prepared index can serve this query, the index-order
+    /// scan of [`select_top_k`] otherwise.
+    fn top_k_select(
+        &self,
+        qv: &[f64],
+        k: usize,
+        n: usize,
+        exclude: Option<usize>,
+        dist_sq: impl FnMut(usize, f64) -> Option<f64>,
+    ) -> Vec<(usize, f64)> {
+        if let Some(ix) = &self.index {
+            if let Some(qp) = ix.query_synopsis(qv) {
+                self.counters
+                    .indexed_queries
+                    .fetch_add(1, Ordering::Relaxed);
+                return self.indexed_top_k(ix, &qp, k, exclude, dist_sq);
+            }
+        }
+        self.counters.scan_queries.fetch_add(1, Ordering::Relaxed);
+        select_top_k(n, exclude, k, dist_sq)
+    }
+
+    /// Best-first top-k through the index: leaves in ascending MBR-bound
+    /// order, stopping once the k-th best distance proves every
+    /// remaining leaf unreachable.
+    ///
+    /// Visit order is arbitrary with respect to member index, so unlike
+    /// [`select_top_k`] (index-order, where a tie with the k-th best
+    /// always loses to the earlier index already kept) this selection
+    /// must stay order-insensitive to remain bit-identical: the abandon
+    /// limit is the *non-strict* [`squared_cutoff`] of the k-th best
+    /// distance (a tying candidate survives the kernel), and ties are
+    /// resolved by explicit `(distance, index)` lexicographic
+    /// comparison. Distances of kept candidates are full exact sums
+    /// (independent of the limit), so the final `(d, i)`-sorted k are
+    /// the same bits the scan path returns.
+    fn indexed_top_k(
+        &self,
+        ix: &CandidateIndex,
+        qp: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+        mut dist_sq: impl FnMut(usize, f64) -> Option<f64>,
+    ) -> Vec<(usize, f64)> {
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        let mut limit = f64::INFINITY;
+        let mut bound = f64::INFINITY; // current k-th best distance
+        let mut prune_limit = f64::INFINITY; // squared-space twin of `bound`
+        let order = ix.leaves_by_lower_bound(qp);
+        let mut leaves_visited = 0u64;
+        let mut leaves_pruned = 0u64;
+        let mut series_pruned = 0u64;
+        let mut cands = 0u64;
+        for (pos, &(leaf_lb, leaf)) in order.iter().enumerate() {
+            if best.len() == k && !admits(leaf_lb, bound) {
+                // Bounds ascend with `pos`: everything after is pruned too.
+                leaves_pruned += (order.len() - pos) as u64;
+                break;
+            }
+            leaves_visited += 1;
+            for &i in ix.leaf_members(leaf) {
+                if Some(i) == exclude {
+                    continue;
+                }
+                if best.len() == k && ix.member_bound_exceeds(qp, i, prune_limit) {
+                    series_pruned += 1;
+                    continue;
+                }
+                cands += 1;
+                let Some(total) = dist_sq(i, limit) else {
+                    continue;
+                };
+                let d = total.sqrt();
+                if best.len() == k {
+                    let (bd, bi) = best[k - 1];
+                    if d > bd || (d == bd && i > bi) {
+                        continue;
+                    }
+                }
+                let at = best.partition_point(|&(bd, bi)| bd < d || (bd == d && bi < i));
+                best.insert(at, (d, i));
+                best.truncate(k);
+                if best.len() == k {
+                    bound = best[k - 1].0;
+                    limit = squared_cutoff(bound);
+                    prune_limit = ix.squared_prune_limit(bound);
+                }
+            }
+        }
+        self.counters
+            .leaves_visited
+            .fetch_add(leaves_visited, Ordering::Relaxed);
+        self.counters
+            .leaves_pruned
+            .fetch_add(leaves_pruned, Ordering::Relaxed);
+        self.counters
+            .series_pruned
+            .fetch_add(series_pruned, Ordering::Relaxed);
+        self.counters.candidates.fetch_add(cands, Ordering::Relaxed);
+        best.into_iter().map(|(d, i)| (i, d)).collect()
     }
 
     /// The plain-value view the DTW scan warps over, when the technique

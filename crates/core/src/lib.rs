@@ -40,6 +40,12 @@
 //! pool, answers merged deterministically (still bit-identical to the
 //! unsharded engine), and a cross-query result cache for skewed
 //! workloads.
+//!
+//! [`index`] is the candidate-generation stage under both: a lower-bound
+//! PAA/SAX grid built at prepare time for the value-based techniques, so
+//! large-collection range and top-k queries prune most candidates before
+//! the exact kernels run — with no false dismissals (admissible bounds
+//! only).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -54,6 +60,7 @@ pub mod classify;
 pub mod dust;
 pub mod engine;
 pub mod euclidean;
+pub mod index;
 pub mod matching;
 pub mod munich;
 pub mod parallel;
@@ -67,6 +74,7 @@ pub use classify::{knn_loocv, one_nn_loocv, ClassificationOutcome};
 pub use dust::{Dust, DustConfig};
 pub use engine::{PrepareError, QueryEngine, QueryRef};
 pub use euclidean::euclidean_distance;
+pub use index::{CandidateIndex, IndexConfig, IndexStats};
 pub use matching::{MatchingTask, QualityScores, TaskError, TechniqueKind};
 pub use munich::{MbiEnvelope, Munich, MunichConfig, MunichError, MunichStrategy};
 pub use parallel::parallel_map;

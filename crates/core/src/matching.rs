@@ -428,7 +428,10 @@ impl MatchingTask {
     /// One-shot convenience over [`crate::engine::QueryEngine`]: prepares
     /// the engine and answers a single query. Batch callers should
     /// prepare once and reuse — see [`MatchingTask::evaluate_queries`]
-    /// and the experiment runner.
+    /// and the experiment runner. Like every `prepare` under the default
+    /// [`crate::index::IndexConfig`], collections of at least 256 series
+    /// get the lower-bound candidate index for the value-based
+    /// techniques; answers are identical either way.
     ///
     /// # Panics
     /// For `Technique::Munich` when the task holds no multi-observation

@@ -55,6 +55,7 @@ use uts_tseries::TimeSeries;
 use uts_uncertain::{MultiObsSeries, UncertainSeries};
 
 use crate::engine::{PrepareError, QueryEngine, QueryRef};
+use crate::index::{IndexConfig, IndexStats};
 use crate::matching::{MatchingTask, TaskError, Technique};
 use crate::parallel::parallel_map;
 
@@ -107,6 +108,11 @@ pub struct ShardedEngine {
     plan: ShardPlan,
     shards: Vec<QueryEngine<Arc<MatchingTask>>>,
     cache: ResultCache,
+    /// The index config every shard was prepared with — kept so
+    /// [`ShardedEngine::update_series`] re-prepares the owner shard with
+    /// the same indexing decision (an updated shard must not silently
+    /// lose its index).
+    index_config: IndexConfig,
 }
 
 impl ShardedEngine {
@@ -127,17 +133,49 @@ impl ShardedEngine {
     }
 
     /// Fallible twin of [`ShardedEngine::prepare`].
+    ///
+    /// Uses the default [`IndexConfig`] — shards of at least
+    /// [`crate::index::DEFAULT_MIN_COLLECTION`] members get their own
+    /// candidate index.
     pub fn try_prepare(
         task: &MatchingTask,
         technique: &Technique,
         shards: usize,
         assignment: ShardAssignment,
     ) -> Result<Self, PrepareError> {
+        Self::try_prepare_with(task, technique, shards, assignment, IndexConfig::default())
+    }
+
+    /// [`ShardedEngine::prepare`] with an explicit [`IndexConfig`],
+    /// applied per shard (each shard indexes its own slice; the
+    /// `min_collection` gate sees shard sizes, not the global size).
+    ///
+    /// # Panics
+    /// As [`ShardedEngine::prepare`].
+    pub fn prepare_with(
+        task: &MatchingTask,
+        technique: &Technique,
+        shards: usize,
+        assignment: ShardAssignment,
+        index: IndexConfig,
+    ) -> Self {
+        Self::try_prepare_with(task, technique, shards, assignment, index)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`ShardedEngine::prepare_with`].
+    pub fn try_prepare_with(
+        task: &MatchingTask,
+        technique: &Technique,
+        shards: usize,
+        assignment: ShardAssignment,
+        index: IndexConfig,
+    ) -> Result<Self, PrepareError> {
         let plan = ShardPlan::new(task.len(), shards, assignment);
         let shards = (0..plan.shard_count())
             .map(|s| {
                 let shard_task = Arc::new(task.subset(plan.members(s)));
-                QueryEngine::try_prepare(shard_task, technique)
+                QueryEngine::try_prepare_with(shard_task, technique, index)
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {
@@ -145,6 +183,7 @@ impl ShardedEngine {
             plan,
             shards,
             cache: ResultCache::new(DEFAULT_CACHE_CAPACITY),
+            index_config: index,
         })
     }
 
@@ -176,6 +215,20 @@ impl ShardedEngine {
     /// Point-in-time cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The index config every shard was prepared with.
+    pub fn index_config(&self) -> IndexConfig {
+        self.index_config
+    }
+
+    /// Point-in-time pruning statistics summed across all shards.
+    pub fn index_stats(&self) -> IndexStats {
+        let mut total = IndexStats::default();
+        for shard in &self.shards {
+            total.absorb(&shard.index_stats());
+        }
+        total
     }
 
     /// The prepared query view of global member `q`, resolved on its
@@ -299,11 +352,13 @@ impl ShardedEngine {
 
     /// Replaces global member `i` with new clean/uncertain (and, iff
     /// the task carries one, multi-observation) series, re-prepares the
-    /// owner shard, and invalidates the result cache — the mutation
-    /// path that keeps cached answers from outliving the data.
+    /// owner shard (including its candidate index, under the same
+    /// [`IndexConfig`] the engine was built with), and invalidates the
+    /// result cache — the mutation path that keeps cached answers from
+    /// outliving the data.
     ///
     /// Only the owner shard pays the re-preparation cost; the other
-    /// shards' prepared state is untouched.
+    /// shards' prepared state and indexes are untouched.
     ///
     /// # Example: mutation invalidates the cache
     ///
@@ -358,8 +413,9 @@ impl ShardedEngine {
                 .task()
                 .with_replaced(local, clean, uncertain, multi),
         );
-        self.shards[owner] = QueryEngine::try_prepare(updated, &self.technique)
-            .expect("replacement preserves the shape the technique was prepared for");
+        self.shards[owner] =
+            QueryEngine::try_prepare_with(updated, &self.technique, self.index_config)
+                .expect("replacement preserves the shape the technique was prepared for");
         self.cache.invalidate();
     }
 }

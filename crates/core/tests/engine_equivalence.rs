@@ -11,6 +11,7 @@
 
 use uts_core::dust::Dust;
 use uts_core::engine::QueryEngine;
+use uts_core::index::IndexConfig;
 use uts_core::matching::{MatchingTask, QualityScores, Technique};
 use uts_core::munich::Munich;
 use uts_core::proud::{Proud, ProudConfig};
@@ -116,21 +117,33 @@ fn techniques(sigma: f64) -> Vec<Technique> {
 }
 
 /// Range answer sets: engine vs naive, every query, at the calibrated
-/// threshold and at scaled thresholds (sparse and dense answer sets).
+/// threshold and at scaled thresholds (sparse and dense answer sets) —
+/// with the candidate index both off (the workloads sit below the
+/// default `min_collection`) and forced on ([`IndexConfig::always`]),
+/// so the lower-bound pruning provably never moves an answer.
 #[test]
 fn answer_sets_bit_identical_across_workloads() {
     for w in WORKLOADS {
         let task = build(w);
         for technique in techniques(w.sigma) {
             let engine = QueryEngine::prepare(&task, &technique);
+            let indexed = QueryEngine::prepare_with(&task, &technique, IndexConfig::always());
             for q in probe_queries(&task) {
                 let eps = task.calibrated_threshold(q, &technique);
                 for scale in [0.5, 1.0, 2.0] {
                     let e = eps * scale;
+                    let naive = task.answer_set_naive(q, &technique, e);
                     assert_eq!(
                         engine.answer_set(q, e),
-                        task.answer_set_naive(q, &technique, e),
+                        naive,
                         "{} / {} q={q} eps={e}",
+                        w.name,
+                        technique.kind()
+                    );
+                    assert_eq!(
+                        indexed.answer_set(q, e),
+                        naive,
+                        "{} / {} q={q} eps={e} (indexed)",
                         w.name,
                         technique.kind()
                     );
@@ -149,38 +162,43 @@ fn top_k_bit_identical_across_workloads() {
         let task = build(w);
         for technique in techniques(w.sigma) {
             let engine = QueryEngine::prepare(&task, &technique);
+            let indexed = QueryEngine::prepare_with(&task, &technique, IndexConfig::always());
             for q in probe_queries(&task) {
                 for k in [1, w.k, task.len() - 1] {
-                    let fast = engine.top_k(q, k);
                     let naive = task.top_k_naive(q, &technique, k);
-                    match (&fast, &naive) {
-                        (Some(f), Some(nv)) => {
-                            assert_eq!(f.len(), nv.len());
-                            for (a, b) in f.iter().zip(nv) {
-                                assert_eq!(
-                                    a.0,
-                                    b.0,
-                                    "{} / {} q={q} k={k}",
-                                    w.name,
-                                    technique.kind()
-                                );
-                                assert_eq!(
-                                    a.1.to_bits(),
-                                    b.1.to_bits(),
-                                    "{} / {} q={q} k={k}: {} vs {}",
-                                    w.name,
-                                    technique.kind(),
-                                    a.1,
-                                    b.1
-                                );
+                    for (label, fast) in [
+                        ("scan", engine.top_k(q, k)),
+                        ("indexed", indexed.top_k(q, k)),
+                    ] {
+                        match (&fast, &naive) {
+                            (Some(f), Some(nv)) => {
+                                assert_eq!(f.len(), nv.len());
+                                for (a, b) in f.iter().zip(nv) {
+                                    assert_eq!(
+                                        a.0,
+                                        b.0,
+                                        "{} / {} q={q} k={k} ({label})",
+                                        w.name,
+                                        technique.kind()
+                                    );
+                                    assert_eq!(
+                                        a.1.to_bits(),
+                                        b.1.to_bits(),
+                                        "{} / {} q={q} k={k} ({label}): {} vs {}",
+                                        w.name,
+                                        technique.kind(),
+                                        a.1,
+                                        b.1
+                                    );
+                                }
                             }
+                            (None, None) => {}
+                            _ => panic!(
+                                "{} / {} q={q} k={k} ({label}): engine {fast:?} vs naive {naive:?}",
+                                w.name,
+                                technique.kind()
+                            ),
                         }
-                        (None, None) => {}
-                        _ => panic!(
-                            "{} / {} q={q} k={k}: engine {fast:?} vs naive {naive:?}",
-                            w.name,
-                            technique.kind()
-                        ),
                     }
                 }
             }
@@ -196,7 +214,9 @@ fn probabilities_bit_identical_across_workloads() {
     for w in WORKLOADS {
         let task = build(w);
         for technique in techniques(w.sigma) {
-            let engine = QueryEngine::prepare(&task, &technique);
+            // The index never touches the probability paths; forcing it
+            // on must leave them bit-identical too.
+            let engine = QueryEngine::prepare_with(&task, &technique, IndexConfig::always());
             for q in probe_queries(&task) {
                 let eps = task.calibrated_threshold(q, &technique);
                 let fast = engine.probabilities(q, eps);
@@ -367,6 +387,52 @@ fn munich_mixed_sample_counts_bit_identical() {
             assert_eq!(a.0, b.0, "q={q}");
             assert_eq!(a.1.to_bits(), b.1.to_bits(), "q={q} cand={}", a.0);
         }
+    }
+}
+
+/// The index engages exactly where it should: value-based techniques
+/// (Euclidean, UMA, UEMA) build an index under `always()` and route
+/// their range/top-k queries through it; DUST, PROUD and MUNICH bypass
+/// it and count as scan queries — and `disabled()` keeps everyone on
+/// the scan path.
+#[test]
+fn index_engagement_follows_the_technique() {
+    let w = &WORKLOADS[0];
+    let task = build(w);
+    for technique in techniques(w.sigma) {
+        let indexed = QueryEngine::prepare_with(&task, &technique, IndexConfig::always());
+        let value_based = matches!(
+            technique,
+            Technique::Euclidean | Technique::Uma(_) | Technique::Uema(_)
+        );
+        assert_eq!(
+            indexed.is_indexed(),
+            value_based,
+            "{}: index built iff value-based",
+            technique.kind()
+        );
+        let eps = task.calibrated_threshold(0, &technique);
+        let _ = indexed.answer_set(0, eps);
+        let stats = indexed.index_stats();
+        if value_based {
+            assert_eq!(
+                (stats.indexed_queries, stats.scan_queries),
+                (1, 0),
+                "{}: range through the index",
+                technique.kind()
+            );
+        } else {
+            assert_eq!(
+                (stats.indexed_queries, stats.scan_queries),
+                (0, 1),
+                "{}: range bypasses the index",
+                technique.kind()
+            );
+        }
+        let off = QueryEngine::prepare_with(&task, &technique, IndexConfig::disabled());
+        assert!(!off.is_indexed(), "{}: disabled config", technique.kind());
+        let _ = off.answer_set(0, eps);
+        assert_eq!(off.index_stats().scan_queries, 1);
     }
 }
 

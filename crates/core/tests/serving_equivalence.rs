@@ -11,6 +11,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use uts_core::dust::Dust;
 use uts_core::engine::QueryEngine;
+use uts_core::index::IndexConfig;
 use uts_core::matching::{MatchingTask, TaskError, Technique};
 use uts_core::munich::Munich;
 use uts_core::proud::{Proud, ProudConfig};
@@ -77,7 +78,9 @@ fn probe_queries(task: &MatchingTask) -> [usize; 3] {
 }
 
 /// Range answer sets: sharded ≡ unsharded, all six techniques, all
-/// shard counts, both assignments, sparse and dense thresholds.
+/// shard counts, both assignments, sparse and dense thresholds — and
+/// with every shard's candidate index forced on, the same bits again
+/// (per-shard pruning must not move a sharded answer either).
 #[test]
 fn sharded_answer_sets_bit_identical() {
     let task = build_task(0x5E41, 12, 20, 3);
@@ -86,14 +89,28 @@ fn sharded_answer_sets_bit_identical() {
         for shards in SHARD_COUNTS {
             for assignment in ASSIGNMENTS {
                 let sharded = ShardedEngine::prepare(&task, &technique, shards, assignment);
+                let indexed = ShardedEngine::prepare_with(
+                    &task,
+                    &technique,
+                    shards,
+                    assignment,
+                    IndexConfig::always(),
+                );
                 for q in probe_queries(&task) {
                     let eps = task.calibrated_threshold(q, &technique);
                     for scale in [0.5, 1.0, 2.0] {
                         let e = eps * scale;
+                        let want = flat.answer_set(q, e);
                         assert_eq!(
                             *sharded.answer_set(q, e),
-                            flat.answer_set(q, e),
+                            want,
                             "{} shards={shards} {assignment:?} q={q} eps={e}",
+                            technique.kind()
+                        );
+                        assert_eq!(
+                            *indexed.answer_set(q, e),
+                            want,
+                            "{} shards={shards} {assignment:?} q={q} eps={e} (indexed)",
                             technique.kind()
                         );
                     }
@@ -114,27 +131,36 @@ fn sharded_top_k_bit_identical() {
         for shards in SHARD_COUNTS {
             for assignment in ASSIGNMENTS {
                 let sharded = ShardedEngine::prepare(&task, &technique, shards, assignment);
+                let indexed = ShardedEngine::prepare_with(
+                    &task,
+                    &technique,
+                    shards,
+                    assignment,
+                    IndexConfig::always(),
+                );
                 for q in probe_queries(&task) {
                     for k in [1, 3, task.len() - 1] {
-                        match (sharded.top_k(q, k), flat.top_k(q, k)) {
-                            (Ok(s), Some(f)) => {
-                                assert_eq!(s.len(), f.len());
-                                for (a, b) in s.iter().zip(&f) {
-                                    assert_eq!(
-                                        (a.0, a.1.to_bits()),
-                                        (b.0, b.1.to_bits()),
-                                        "{} shards={shards} {assignment:?} q={q} k={k}",
-                                        technique.kind()
-                                    );
+                        for (label, engine) in [("scan", &sharded), ("indexed", &indexed)] {
+                            match (engine.top_k(q, k), flat.top_k(q, k)) {
+                                (Ok(s), Some(f)) => {
+                                    assert_eq!(s.len(), f.len());
+                                    for (a, b) in s.iter().zip(&f) {
+                                        assert_eq!(
+                                            (a.0, a.1.to_bits()),
+                                            (b.0, b.1.to_bits()),
+                                            "{} shards={shards} {assignment:?} q={q} k={k} ({label})",
+                                            technique.kind()
+                                        );
+                                    }
                                 }
+                                (Err(TaskError::NotDistanceRanked(kind)), None) => {
+                                    assert_eq!(kind, technique.kind());
+                                }
+                                (s, f) => panic!(
+                                    "{} shards={shards} q={q} k={k} ({label}): sharded {s:?} vs flat {f:?}",
+                                    technique.kind()
+                                ),
                             }
-                            (Err(TaskError::NotDistanceRanked(kind)), None) => {
-                                assert_eq!(kind, technique.kind());
-                            }
-                            (s, f) => panic!(
-                                "{} shards={shards} q={q} k={k}: sharded {s:?} vs flat {f:?}",
-                                technique.kind()
-                            ),
                         }
                     }
                 }
@@ -267,6 +293,91 @@ fn update_series_matches_full_rebuild() {
     }
 }
 
+/// Regression for the index-path cache contract: with per-shard indexes
+/// enabled, `update_series` must invalidate every cached answer *and*
+/// rebuild the owner shard's index under the same config — a re-query
+/// of the exact cached key returns the post-update answer, bit-identical
+/// to a from-scratch engine over the mutated collection (indexed or
+/// not).
+#[test]
+fn update_series_with_index_serves_post_update_answers() {
+    let seed = 0x5E47;
+    let (n, len, k) = (12, 20, 3);
+    let task = build_task(seed, n, len, k);
+    let technique = Technique::Euclidean;
+    let victim = 4;
+    let q = 0;
+
+    let root = Seed::new(seed);
+    let new_clean =
+        TimeSeries::from_values((0..len).map(|t| ((t as f64) / 2.5 - 3.0).cos())).znormalized();
+    let spec = ErrorSpec::constant(ErrorFamily::Normal, 0.4);
+    let new_uncertain = perturb(&new_clean, &spec, root.derive("replacement"));
+    let new_multi = perturb_multi(&new_clean, &spec, 3, root.derive("replacement-multi"));
+
+    let mut clean: Vec<TimeSeries> = task.clean().to_vec();
+    let mut uncertain: Vec<UncertainSeries> = task.uncertain().to_vec();
+    let mut multi: Vec<MultiObsSeries> = task.multi().unwrap().to_vec();
+    clean[victim] = new_clean.clone();
+    uncertain[victim] = new_uncertain.clone();
+    multi[victim] = new_multi.clone();
+    let rebuilt = MatchingTask::new(clean, uncertain, Some(multi), k);
+    let reference_scan = QueryEngine::prepare_with(&rebuilt, &technique, IndexConfig::disabled());
+    let reference_indexed = QueryEngine::prepare_with(&rebuilt, &technique, IndexConfig::always());
+
+    for shards in SHARD_COUNTS {
+        let mut sharded = ShardedEngine::prepare_with(
+            &task,
+            &technique,
+            shards,
+            ShardAssignment::RoundRobin,
+            IndexConfig::always(),
+        );
+        assert_eq!(sharded.index_config(), IndexConfig::always());
+        let eps = task.calibrated_threshold(q, &technique);
+        // Warm the cache on the exact keys re-queried after the update.
+        let stale_range = sharded.answer_set(q, eps);
+        let stale_top = sharded.top_k(q, k).unwrap();
+        sharded.update_series(
+            victim,
+            new_clean.clone(),
+            new_uncertain.clone(),
+            Some(new_multi.clone()),
+        );
+        // Same keys, post-update: the stale allocations must not be
+        // served (generation bump), and the fresh answers must match a
+        // from-scratch engine bit for bit — with and without its index.
+        let fresh_range = sharded.answer_set(q, eps);
+        assert!(!Arc::ptr_eq(&stale_range, &fresh_range), "shards={shards}");
+        assert_eq!(
+            *fresh_range,
+            reference_scan.answer_set(q, eps),
+            "shards={shards}"
+        );
+        assert_eq!(
+            *fresh_range,
+            reference_indexed.answer_set(q, eps),
+            "shards={shards}"
+        );
+        let fresh_top = sharded.top_k(q, k).unwrap();
+        assert!(!Arc::ptr_eq(&stale_top, &fresh_top), "shards={shards}");
+        for (a, b) in fresh_top
+            .iter()
+            .zip(&reference_indexed.top_k(q, k).unwrap())
+        {
+            assert_eq!(
+                (a.0, a.1.to_bits()),
+                (b.0, b.1.to_bits()),
+                "shards={shards}"
+            );
+        }
+        // The updated owner shard kept its index (same config as built).
+        let stats = sharded.index_stats();
+        assert!(stats.indexed_queries > 0, "shards={shards}: index engaged");
+        assert_eq!(stats.scan_queries, 0, "shards={shards}: no silent fallback");
+    }
+}
+
 /// Many threads hammering the same sharded engine — same and different
 /// keys — all observe the unsharded answers; the cache never serves a
 /// divergent value.
@@ -312,11 +423,11 @@ fn concurrent_queries_are_consistent() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Random collection size × shard count × assignment: the sharded
-    /// merge equals the naive reference for top-k (indices and bit-level
-    /// distances) and range answers — the boundary cases a fixed-size
-    /// suite can miss (empty shards, size-1 shards, k beyond shard
-    /// sizes).
+    /// Random collection size × shard count × assignment × index on/off:
+    /// the sharded merge equals the naive reference for top-k (indices
+    /// and bit-level distances) and range answers — the boundary cases a
+    /// fixed-size suite can miss (empty shards, size-1 shards, k beyond
+    /// shard sizes, leaves holding a single member).
     #[test]
     fn random_shapes_match_naive(
         seed in any::<u64>(),
@@ -324,11 +435,13 @@ proptest! {
         shards in 1usize..9,
         assignment in prop::sample::select(ASSIGNMENTS.to_vec()),
         k in 1usize..6,
+        use_index in any::<bool>(),
     ) {
         let k = k.min(n - 2);
         let task = build_task(seed, n, 12, k.max(1));
         let technique = Technique::Euclidean;
-        let sharded = ShardedEngine::prepare(&task, &technique, shards, assignment);
+        let cfg = if use_index { IndexConfig::always() } else { IndexConfig::disabled() };
+        let sharded = ShardedEngine::prepare_with(&task, &technique, shards, assignment, cfg);
         for q in [0, n / 2, n - 1] {
             let eps = task.calibrated_threshold(q, &technique);
             prop_assert_eq!(

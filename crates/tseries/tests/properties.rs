@@ -333,12 +333,36 @@ proptest! {
     }
 
     #[test]
-    fn paa_synopsis_is_lower_bound(x in series_strategy(4, 64), y in series_strategy(4, 64), m in 1usize..16) {
+    fn paa_synopsis_is_lower_bound(x in series_strategy(4, 64), y in series_strategy(4, 64), m in 1usize..80) {
+        // Admissibility under the *same* slack predicate the candidate
+        // index uses (relative 1e-9 + absolute 1e-12), which is much
+        // tighter than a flat 1e-8 — segment counts range through and
+        // beyond n so the m == n identity case is exercised too.
         let n = x.len().min(y.len());
         let (x, y) = (&x[..n], &y[..n]);
         let m = m.min(n);
+        let d = euclidean(x, y);
         let lb = PaaSynopsis::new(x, m).distance_lower_bound(&PaaSynopsis::new(y, m));
-        prop_assert!(lb <= euclidean(x, y) + 1e-8, "m={m}: lb={lb}, full={}", euclidean(x, y));
+        prop_assert!(lb <= d * (1.0 + 1e-9) + 1e-12, "m={m}: lb={lb}, full={d}");
+        if m == n {
+            // Identity PAA: the bound collapses to the exact distance.
+            prop_assert!((lb - d).abs() <= 1e-9 * (1.0 + d), "m==n: lb={lb}, full={d}");
+        }
+    }
+
+    #[test]
+    fn paa_synopsis_on_constant_series(c1 in -50.0..50.0f64, c2 in -50.0..50.0f64, n in 1usize..64, m in 1usize..16) {
+        // Degenerate flat series: every segment mean equals the constant,
+        // so the bound is exactly √n·|c1 − c2| — tight at every m.
+        let m = m.min(n);
+        let x = vec![c1; n];
+        let y = vec![c2; n];
+        let lb = PaaSynopsis::new(&x, m).distance_lower_bound(&PaaSynopsis::new(&y, m));
+        let d = euclidean(&x, &y);
+        prop_assert!(lb <= d * (1.0 + 1e-9) + 1e-12, "lb={lb} d={d}");
+        prop_assert!((lb - d).abs() <= 1e-9 * (1.0 + d), "constant series bound is tight");
+        // Self-distance is exactly zero.
+        prop_assert_eq!(PaaSynopsis::new(&x, m).distance_lower_bound(&PaaSynopsis::new(&x, m)), 0.0);
     }
 
     // ---- SAX ---------------------------------------------------------------
@@ -348,18 +372,39 @@ proptest! {
         x in series_strategy(8, 64),
         y in series_strategy(8, 64),
         w in 2usize..12,
-        a in 3u8..12,
+        a in 2u8..12,
     ) {
+        // Alphabet starts at the 2-symbol minimum (single breakpoint at
+        // zero — the coarsest quantisation the index may configure) and
+        // admissibility uses the index's slack predicate, not a loose
+        // absolute epsilon.
         let n = x.len().min(y.len());
         let (x, y) = (&x[..n], &y[..n]);
         let w = w.min(n);
         let wx = SaxWord::encode(x, w, a);
         let wy = SaxWord::encode(y, w, a);
         let lb = wx.mindist(&wy);
+        let d = euclidean(x, y);
         prop_assert!(lb >= 0.0);
-        prop_assert!(lb <= euclidean(x, y) + 1e-8, "w={w} a={a}: {lb} > {}", euclidean(x, y));
+        prop_assert!(lb <= d * (1.0 + 1e-9) + 1e-12, "w={w} a={a}: {lb} > {d}");
         // Symmetry.
         prop_assert!((wx.mindist(&wy) - wy.mindist(&wx)).abs() < 1e-12);
+        // Identical words bound to zero: a word's mindist to itself.
+        prop_assert_eq!(wx.mindist(&wx), 0.0);
+    }
+
+    #[test]
+    fn sax_mindist_constant_series_is_zero(c in -50.0..50.0f64, n in 2usize..48, w in 1usize..10, a in 2u8..12) {
+        // Two identical constant series quantise to the same word, and
+        // mindist between equal symbols must be exactly zero (adjacent
+        // symbols also bound to zero by construction, so this checks the
+        // degenerate all-same-symbol diagonal).
+        let w = w.min(n);
+        let x = vec![c; n];
+        let wx = SaxWord::encode(&x, w, a);
+        let wy = SaxWord::encode(&x, w, a);
+        prop_assert_eq!(wx.symbols(), wy.symbols());
+        prop_assert_eq!(wx.mindist(&wy), 0.0);
     }
 
     #[test]

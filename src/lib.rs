@@ -51,6 +51,7 @@ pub mod prelude {
     pub use uts_core::dust::{Dust, DustConfig};
     pub use uts_core::engine::QueryEngine;
     pub use uts_core::euclidean::euclidean_distance;
+    pub use uts_core::index::{IndexConfig, IndexStats};
     pub use uts_core::matching::{MatchingTask, QualityScores, Technique, TechniqueKind};
     pub use uts_core::munich::{Munich, MunichConfig};
     pub use uts_core::proud::{Proud, ProudConfig};
