@@ -6,7 +6,9 @@
 //!
 //! The acceptance criterion for the index layer is read straight off
 //! this output: at the largest size, `indexed` must beat `scan` for at
-//! least Euclidean and UMA with `cand/q` far below the collection size.
+//! least Euclidean and UMA with `cand/q` far below the collection size,
+//! and for DUST — whose pruning runs PAA gaps through the φ-space cost
+//! envelope — by at least 1.5× on the same workload.
 //!
 //! Not a criterion bench (the quantity of interest is a same-run A/B at
 //! three collection sizes, not a per-iteration distribution), so it is
@@ -16,6 +18,7 @@
 use std::time::Instant;
 
 use uts_bench::bench_task_clustered;
+use uts_core::dust::Dust;
 use uts_core::engine::QueryEngine;
 use uts_core::index::IndexConfig;
 use uts_core::matching::{MatchingTask, Technique};
@@ -112,9 +115,10 @@ fn main() {
     // accepted and ignored, as in the other harness = false mains.
     let _ = std::env::args();
 
-    let techniques: [(&'static str, Technique); 2] = [
+    let techniques: [(&'static str, Technique); 3] = [
         ("euclidean", Technique::Euclidean),
         ("uma", Technique::Uma(Uma::default())),
+        ("dust", Technique::Dust(Dust::default())),
     ];
 
     let mut rows: Vec<Row> = Vec::new();

@@ -13,6 +13,10 @@
 //!   On one core `parallel_map` degrades to a sequential loop and
 //!   1-vs-4 shards measures only partitioning overhead (the JSON
 //!   records `threads` so a reader can tell which regime produced it).
+//! * `scan_indexed` — the scan workload with the candidate index forced
+//!   on, so per-technique `IndexStats` (indexed vs scanned queries,
+//!   candidates visited — for DUST, the φ-space envelope engaging
+//!   through the sharded path) appear in the snapshot.
 //!
 //! Not a criterion bench (criterion reports per-iteration medians; a
 //! load generator wants QPS and tail latency), so it is a
@@ -23,6 +27,7 @@ use std::time::Instant;
 
 use rand::Rng;
 use uts_bench::bench_task_sized;
+use uts_core::index::IndexConfig;
 use uts_core::matching::{MatchingTask, Technique};
 use uts_core::serving::{ShardAssignment, ShardedEngine};
 use uts_stats::rng::Seed;
@@ -214,6 +219,20 @@ fn main() {
             let engine =
                 ShardedEngine::prepare(&task, technique, shards, ShardAssignment::RoundRobin);
             results.push(run_phase("scan", name, &engine, &scan_workload));
+            // Same miss-heavy workload with the candidate index forced
+            // on (the default config never indexes a collection this
+            // small), so the per-technique IndexStats — indexed vs
+            // scanned queries, candidates visited; for DUST that means
+            // the φ-space envelope engaging across shard boundaries —
+            // land in the snapshot next to the unindexed rows.
+            let engine = ShardedEngine::prepare_with(
+                &task,
+                technique,
+                shards,
+                ShardAssignment::RoundRobin,
+                IndexConfig::always(),
+            );
+            results.push(run_phase("scan_indexed", name, &engine, &scan_workload));
         }
     }
 

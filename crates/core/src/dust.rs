@@ -43,7 +43,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
 use uts_stats::dist::{ContinuousDistribution, Normal};
-use uts_stats::integrate::adaptive_simpson;
+use uts_stats::integrate::adaptive_simpson_with_breaks;
 use uts_tseries::dtw::{DtwOptions, DtwWorkspace};
 use uts_uncertain::{ErrorFamily, PointError, UncertainSeries};
 
@@ -124,6 +124,121 @@ impl DustTable {
         }
         let frac = pos - idx as f64;
         Some(self.values[idx] * (1.0 - frac) + self.values[idx + 1] * frac)
+    }
+
+    /// The two grid samples [`DustTable::lookup`] would interpolate
+    /// between at `delta`, ordered `(min, max)` — the interval the lerp
+    /// value is confined to. `None` exactly when `lookup` is `None`
+    /// (beyond the grid), `(NaN, NaN)` for a NaN `delta` so callers fall
+    /// through to the kernel rather than decide on a garbage cell.
+    fn bracket(&self, delta: f64) -> Option<(f64, f64)> {
+        if delta.is_nan() {
+            return Some((f64::NAN, f64::NAN));
+        }
+        let pos = delta / self.step;
+        let idx = pos.floor() as usize;
+        if idx + 1 >= self.values.len() {
+            return None;
+        }
+        let (a, b) = (self.values[idx], self.values[idx + 1]);
+        Some(if a <= b { (a, b) } else { (b, a) })
+    }
+}
+
+/// An admissible lower envelope of `dust²(Δ)` across *every ordered
+/// pair* of a collection's distinct error descriptions — the φ-space
+/// bound that lets the candidate index ([`crate::index`]) prune DUST
+/// queries.
+///
+/// Construction (see [`Dust::bound_envelope`]): take the pointwise
+/// minimum of every pair's sampled `dust²` grid, make it monotone with a
+/// suffix-minimum sweep, then take the *lower convex hull* of the result.
+/// The stored per-cell values are the hull evaluated at the grid (never
+/// above the suffix-min samples), and [`DustBoundTable::cost`] rounds a
+/// gap *down* to its cell's left edge. Three properties follow, and they
+/// are exactly what the index's admissibility argument needs:
+///
+/// 1. **One-sided vs. the lookup kernel, unconditionally.** On any grid
+///    cell the served kernel is the lerp of the two bracketing samples,
+///    and the hull sits below every chord of points it was built from —
+///    so `cost(g) ≤ dust²_served(Δ)` for every pair and every `Δ ≥ g`,
+///    with no monotonicity assumption on the underlying kernel.
+/// 2. **Monotone nondecreasing** (suffix-min + hull of a nondecreasing
+///    sequence), so a per-segment *minimum* gap can stand in for every
+///    member of a leaf's MBR.
+/// 3. **Convex**, so Jensen's inequality pushes the bound through the
+///    PAA averaging: `Σᵢ dust²(Δᵢ) ≥ (n/m)·Σ_s cost(gap_s)` for the
+///    per-segment PAA gaps — the same `√(n/m)`-scaled shape as the
+///    Euclidean Keogh bound, which is why the index's squared-space
+///    plumbing is shared verbatim.
+///
+/// Beyond the grid the envelope extends linearly with the hull's final
+/// slope, validated against beyond-grid probes of the exact kernel at
+/// construction (a probe falling under the extension refuses the
+/// envelope — the engine then keeps the exact scan). With z-normalised
+/// inputs and the default 16.0 grid range the extension is unreachable.
+#[derive(Debug, Clone)]
+pub struct DustBoundTable {
+    /// Envelope value at grid cell `j` (`Δ = j · step`); `bounds[0] = 0`.
+    bounds: Box<[f64]>,
+    step: f64,
+    /// Slope of the linear extension beyond the last grid cell.
+    tail_slope: f64,
+    /// Largest per-point |Δ| the envelope is admissible for (the last
+    /// beyond-grid probe of the exact kernel). The engine compares the
+    /// workload's maximum possible gap against this before engaging the
+    /// index.
+    valid_delta: f64,
+}
+
+impl DustBoundTable {
+    /// The envelope's value for a per-segment gap: a lower bound on
+    /// `dust²(Δ)` for every ordered error pair of the set the envelope
+    /// was built over and every `|Δ| ≥ gap`, admissible up to the
+    /// validity horizon ([`DustBoundTable::valid_delta`]). Non-positive
+    /// and NaN gaps cost 0 (the envelope starts at `dust²(0) = 0`).
+    #[must_use]
+    pub fn cost(&self, gap: f64) -> f64 {
+        if gap.is_nan() || gap <= 0.0 {
+            return 0.0;
+        }
+        let idx = (gap / self.step) as usize;
+        if let Some(&b) = self.bounds.get(idx) {
+            return b;
+        }
+        let last = self.bounds.len() - 1;
+        if self.tail_slope == 0.0 {
+            return self.bounds[last]; // avoid 0·∞ on an infinite gap
+        }
+        self.bounds[last] + self.tail_slope * (gap - last as f64 * self.step)
+    }
+
+    /// Grid spacing (same as the lookup tables the envelope was built
+    /// from).
+    #[must_use]
+    pub fn grid_step(&self) -> f64 {
+        self.step
+    }
+
+    /// Number of grid cells.
+    #[must_use]
+    pub fn grid_len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Slope of the beyond-grid linear extension.
+    #[must_use]
+    pub fn tail_slope(&self) -> f64 {
+        self.tail_slope
+    }
+
+    /// The envelope's validity horizon: [`DustBoundTable::cost`] is an
+    /// admissible lower bound only while every per-point |Δ| a query can
+    /// produce stays at or below this value. Callers with larger
+    /// potential gaps must fall back to the exact scan.
+    #[must_use]
+    pub fn valid_delta(&self) -> f64 {
+        self.valid_delta
     }
 }
 
@@ -384,6 +499,187 @@ impl Dust {
         }
     }
 
+    /// Builds the admissible φ-space lower envelope ([`DustBoundTable`])
+    /// over every ordered pair of the given distinct error descriptions,
+    /// or `None` when no sound envelope is available: exact-evaluation
+    /// mode (there is no served grid to bound), an empty or
+    /// over-[`MAX_WARM_ERRORS`] error set (the per-point-σ workloads that
+    /// also skip eager warming), or a beyond-grid probe of the exact
+    /// kernel evaluating to NaN (the tail cannot then be validated).
+    /// Refusal is always safe — the engine keeps the exact scan.
+    pub fn bound_envelope(&self, errors: &[PointError]) -> Option<DustBoundTable> {
+        if self.config.exact_evaluation || errors.is_empty() || errors.len() > MAX_WARM_ERRORS {
+            return None;
+        }
+        let n = self.config.table_resolution;
+        let step = self.config.table_max_delta / (n - 1) as f64;
+        let x_last = (n - 1) as f64 * step;
+        // Pointwise minimum over every ordered pair's sampled dust² grid
+        // (the same cached tables the query kernel serves from), extended
+        // by a geometric ladder of beyond-grid probes of the exact
+        // kernel. The probes are *not* trusted between their sample
+        // points — the kernels are monotone but not convex out there (a
+        // mixture kernel crosses over from linear exponential decay to
+        // quadratic Gaussian-tail decay, dipping below any chord), so a
+        // probe's value may only be credited from the *next* probe
+        // onward, where monotonicity alone guarantees the kernel has
+        // passed it. The envelope is sound up to the last probe
+        // ([`DustBoundTable::valid_delta`]); the engine checks the
+        // workload's maximum possible per-point |Δ| against that horizon
+        // before engaging the index.
+        let mut w = vec![f64::INFINITY; n];
+        let mut probes: Vec<(f64, f64)> = [1.5, 2.0, 4.0, 8.0, 32.0, 128.0]
+            .iter()
+            .map(|&m| (x_last * m, f64::INFINITY))
+            .collect();
+        for &ex in errors {
+            for &ey in errors {
+                let table = self.resolve_table(TableKey::new(ex, ey), ex, ey);
+                for (m, &v) in w.iter_mut().zip(table.values.iter()) {
+                    *m = m.min(v);
+                }
+                for (x, v) in probes.iter_mut() {
+                    let e = dust_sq_exact(&self.config, ex, ey, *x);
+                    if e.is_nan() {
+                        return None; // this pair's tail cannot be bounded
+                    }
+                    *v = v.min(e);
+                }
+            }
+        }
+        // Suffix-minimum over the whole sequence, probes included: the
+        // samples become nondecreasing, so the envelope below them is
+        // monotone. w[0] = 0 exactly (dust²(0) = 0 for every pair, by
+        // the clamp), keeping cost(0) = 0.
+        let mut run = f64::INFINITY;
+        for (_, v) in probes.iter_mut().rev() {
+            run = run.min(*v);
+            *v = run;
+        }
+        for v in w.iter_mut().rev() {
+            run = run.min(*v);
+            *v = run;
+        }
+        // Lower convex hull by monotone chain over the grid points plus
+        // the *shifted* probe ladder: the sample at probe `i` is plotted
+        // at probe `i + 1`'s abscissa (and the grid-edge minimum at the
+        // first probe's), because a monotone kernel is only guaranteed
+        // to have passed a sampled value one interval later. The hull is
+        // at or below every floor the samples establish, convex by
+        // construction, and nondecreasing because no sample sits below
+        // the (0, 0) start. The last probe's abscissa becomes the
+        // envelope's validity horizon.
+        let mut hull: Vec<(f64, f64)> = Vec::with_capacity(64);
+        let points = (0..n)
+            .map(|j| (j as f64 * step, w[j]))
+            .chain(core::iter::once((probes[0].0, w[n - 1])))
+            .chain((1..probes.len()).map(|i| (probes[i].0, probes[i - 1].1)));
+        for (x, v) in points {
+            while hull.len() >= 2 {
+                let (ax, av) = hull[hull.len() - 2];
+                let (bx, bv) = hull[hull.len() - 1];
+                if (bx - ax) * (v - av) - (bv - av) * (x - ax) <= 0.0 {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push((x, v));
+        }
+        // The stored envelope is the hull evaluated at each grid cell,
+        // clamped to the suffix-min sample so fp rounding in the chord
+        // interpolation can never push a cell above the data it bounds.
+        let mut bounds = vec![0.0f64; n];
+        let mut seg = 0;
+        for (j, slot) in bounds.iter_mut().enumerate() {
+            let x = j as f64 * step;
+            while seg + 2 < hull.len() && hull[seg + 1].0 < x {
+                seg += 1;
+            }
+            let (ax, av) = hull[seg];
+            let (bx, bv) = hull[seg + 1];
+            *slot = (av + (bv - av) * ((x - ax) / (bx - ax))).min(w[j]);
+        }
+        // The linear extension beyond the grid uses the hull's slope at
+        // the grid edge — the segment covering Δ just past the last grid
+        // cell. By convexity the extension stays at or below the hull —
+        // and hence below the shifted probe floors — all the way to the
+        // validity horizon. Z-normalized workloads sit far inside the
+        // horizon: per-point |Δ| ≤ 2·√(len − 1) for the paper's series
+        // lengths, against a horizon of 128 × the grid span.
+        let mut tseg = 0;
+        while tseg + 2 < hull.len() && hull[tseg + 1].0 <= x_last {
+            tseg += 1;
+        }
+        let (ax, av) = hull[tseg];
+        let (bx, bv) = hull[tseg + 1];
+        let tail_slope = ((bv - av) / (bx - ax)).max(0.0);
+        Some(DustBoundTable {
+            bounds: bounds.into_boxed_slice(),
+            step,
+            tail_slope,
+            valid_delta: probes.last().expect("probe ladder is non-empty").0,
+        })
+    }
+
+    /// Decision-only range predicate: whether the squared DUST distance
+    /// stays within `cutoff` — bit-equivalent to
+    /// `self.distance_sq_early_abandon(x, y, cutoff).is_some()`, which is
+    /// how the engine's range scans phrase `DUST(x, y) ≤ ε`.
+    ///
+    /// Fast path: one pass accumulating the *bracketing* grid samples of
+    /// every per-point Δ (the min and max of the two cells the lerp
+    /// kernel interpolates between — `DustTable::bracket`). Per-point
+    /// values are non-negative, so the kernel's accumulated sum is
+    /// confined to `[lo, hi]`; when the whole interval lands on one side
+    /// of the cutoff — with a guard band orders of magnitude wider than
+    /// the fp drift between the two accumulations — the decision is
+    /// forced without evaluating a single lerp. Ambiguous sums, and
+    /// exact-evaluation mode, delegate to the kernel itself, so the
+    /// decision is always the kernel's own.
+    ///
+    /// # Panics
+    /// If the series lengths differ.
+    pub fn within_sq(&self, x: &UncertainSeries, y: &UncertainSeries, cutoff: f64) -> bool {
+        assert_eq!(x.len(), y.len(), "DUST requires equal-length series");
+        if self.config.exact_evaluation {
+            return self.distance_sq_early_abandon(x, y, cutoff).is_some();
+        }
+        let mut lo = 0.0f64;
+        let mut hi = 0.0f64;
+        let mut memo: Option<(TableKey, Arc<DustTable>)> = None;
+        for i in 0..x.len() {
+            let ex = x.error_at(i);
+            let ey = y.error_at(i);
+            let delta = (x.value_at(i) - y.value_at(i)).abs();
+            let key = TableKey::new(ex, ey);
+            if memo.as_ref().map(|(k, _)| *k != key).unwrap_or(true) {
+                memo = Some((key, self.resolve_table(key, ex, ey)));
+            }
+            let table = &memo.as_ref().expect("just set").1;
+            match table.bracket(delta) {
+                Some((a, b)) => {
+                    lo += a;
+                    hi += b;
+                }
+                None => {
+                    // Beyond the grid the kernel evaluates exactly — the
+                    // bracket collapses to the exact value.
+                    let v = dust_sq_exact(&self.config, ex, ey, delta);
+                    lo += v;
+                    hi += v;
+                }
+            }
+            if lo * (1.0 - 1e-9) - 1e-12 > cutoff {
+                return false; // even the optimistic sum already exceeds ε²
+            }
+        }
+        if hi * (1.0 + 1e-9) + 1e-12 <= cutoff {
+            return true; // even the pessimistic sum stays within ε²
+        }
+        self.distance_sq_early_abandon(x, y, cutoff).is_some()
+    }
+
     fn build_table(&self, ex: PointError, ey: PointError) -> DustTable {
         let n = self.config.table_resolution;
         let step = self.config.table_max_delta / (n - 1) as f64;
@@ -522,9 +818,7 @@ fn ln_phi_kernel(config: &DustConfig, ex: PointError, ey: PointError, delta: f64
         // Cross-family pairs: numeric integration of
         //   φ(Δ) = ∫ f_x(u) · f_y(u − Δ) du
         // over the effective overlap of the supports (tail-contaminated
-        // uniforms where applicable, keeping φ > 0 everywhere). Deep-tail
-        // Δ where the integral underflows falls back to the dominant
-        // Gaussian-tail approximation when a uniform side carries tails.
+        // uniforms where applicable, keeping φ > 0 everywhere).
         _ => {
             let fx = contaminated_pdf(config, ex);
             let fy = contaminated_pdf(config, ey);
@@ -536,7 +830,20 @@ fn ln_phi_kernel(config: &DustConfig, ex: PointError, ey: PointError, delta: f64
             if lo >= hi {
                 return f64::NEG_INFINITY;
             }
-            let v = adaptive_simpson(|u| fx(u) * fy(u - delta), lo, hi, 1e-12, 40);
+            // At large Δ the product's mass is a narrow spike (each
+            // factor clusters near its own center: f_x near 0, the f_y
+            // factor near u = Δ) while the effective supports — ±40σ for
+            // normals — stretch the interval orders of magnitude wider.
+            // Seed the quadrature with the density centers and the
+            // uncontaminated support kinks so no mass concentration can
+            // hide between the adaptive rule's probe points; without the
+            // breaks the rule sees zeros at every probe and returns ~0,
+            // which made dust² non-monotone in the deep tail.
+            let (kxl, kxh) = ex.support();
+            let (kyl, kyh) = ey.support();
+            let breaks = [0.0, delta, kxl, kxh, delta + kyl, delta + kyh];
+            let v =
+                adaptive_simpson_with_breaks(|u| fx(u) * fy(u - delta), lo, hi, &breaks, 1e-12, 40);
             if v > 0.0 {
                 v.ln()
             } else {
@@ -599,6 +906,7 @@ fn contaminated_support(config: &DustConfig, pe: PointError) -> (f64, f64) {
 #[cfg(test)]
 mod unit {
     use super::*;
+    use uts_stats::integrate::adaptive_simpson;
     use uts_tseries::euclidean;
 
     fn pe(family: ErrorFamily, sigma: f64) -> PointError {
@@ -919,5 +1227,204 @@ mod unit {
         let x = UncertainSeries::new(vec![0.0], e.clone());
         let y = UncertainSeries::new(vec![0.0, 1.0], vec![e[0]; 2]);
         let _ = Dust::default().distance(&x, &y);
+    }
+
+    #[test]
+    fn bracket_confines_lookup() {
+        let dust = Dust::default();
+        let pairs = [
+            (pe(ErrorFamily::Normal, 0.4), pe(ErrorFamily::Normal, 1.0)),
+            (pe(ErrorFamily::Uniform, 0.7), pe(ErrorFamily::Uniform, 0.3)),
+            (
+                pe(ErrorFamily::Exponential, 0.9),
+                pe(ErrorFamily::Exponential, 0.5),
+            ),
+        ];
+        for (ex, ey) in pairs {
+            let key = TableKey::new(ex, ey);
+            let table = dust.resolve_table(key, ex, ey);
+            for i in 0..200 {
+                let delta = i as f64 * 0.1001;
+                match (table.lookup(delta), table.bracket(delta)) {
+                    (Some(v), Some((lo, hi))) => {
+                        assert!(lo <= v && v <= hi, "Δ={delta}: {v} outside [{lo}, {hi}]");
+                    }
+                    (None, None) => {} // beyond the grid on both
+                    (l, b) => panic!("Δ={delta}: lookup {l:?} vs bracket {b:?} disagree"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_refusal_conditions() {
+        let dust = Dust::default();
+        let e = pe(ErrorFamily::Normal, 0.4);
+        assert!(dust.bound_envelope(&[]).is_none(), "empty error set");
+        let many: Vec<PointError> = (0..MAX_WARM_ERRORS + 1)
+            .map(|i| pe(ErrorFamily::Normal, 0.1 + i as f64 * 0.01))
+            .collect();
+        assert!(dust.bound_envelope(&many).is_none(), "beyond the cap");
+        let exact = Dust::new(DustConfig {
+            exact_evaluation: true,
+            ..DustConfig::default()
+        });
+        assert!(exact.bound_envelope(&[e]).is_none(), "exact mode");
+        assert!(dust.bound_envelope(&[e]).is_some(), "single pair works");
+    }
+
+    #[test]
+    fn envelope_is_monotone_convex_and_starts_at_zero() {
+        let dust = Dust::default();
+        let errors = [
+            pe(ErrorFamily::Normal, 0.4),
+            pe(ErrorFamily::Uniform, 0.8),
+            pe(ErrorFamily::Exponential, 1.1),
+        ];
+        let env = dust.bound_envelope(&errors).expect("within cap");
+        assert_eq!(env.cost(0.0), 0.0);
+        assert_eq!(env.cost(-3.0), 0.0);
+        assert_eq!(env.cost(f64::NAN), 0.0);
+        assert!(env.tail_slope() >= 0.0);
+        let mut prev = -1.0;
+        let mut prev_slope = -1.0;
+        let step = env.grid_step();
+        for j in 0..env.grid_len() + 50 {
+            let v = env.cost(j as f64 * step);
+            assert!(v >= prev, "monotone at cell {j}: {v} < {prev}");
+            if j > 0 {
+                let slope = v - prev;
+                assert!(
+                    slope >= prev_slope - 1e-12 * (1.0 + slope.abs()),
+                    "convex at cell {j}"
+                );
+                prev_slope = slope;
+            }
+            prev = v;
+        }
+        // An infinite gap must not produce NaN.
+        assert!(env.cost(f64::INFINITY) >= 0.0);
+    }
+
+    #[test]
+    fn envelope_is_one_sided_against_the_served_kernel() {
+        // cost(g) lower-bounds the kernel the queries actually run —
+        // dust_squared, table-served — for every ordered pair of the
+        // error set and every Δ ≥ g, at and between grid cells.
+        let dust = Dust::default();
+        let errors = [
+            pe(ErrorFamily::Normal, 0.3),
+            pe(ErrorFamily::Uniform, 0.9),
+            pe(ErrorFamily::Exponential, 0.6),
+        ];
+        let env = dust.bound_envelope(&errors).expect("within cap");
+        let step = env.grid_step();
+        for &ex in &errors {
+            for &ey in &errors {
+                for i in 0..400 {
+                    // Off-grid Δ; gaps at the cell edge and strictly inside.
+                    let delta = i as f64 * (step * 11.73);
+                    for gap in [delta, delta * 0.71, (delta - step).max(0.0)] {
+                        let bound = env.cost(gap);
+                        let kernel = dust.dust_squared(ex, ey, delta);
+                        assert!(
+                            bound <= kernel * (1.0 + 1e-9) + 1e-12,
+                            "{}/{} Δ={delta} gap={gap}: bound {bound} > kernel {kernel}",
+                            ex.family,
+                            ey.family
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_bounds_series_distances() {
+        // End to end: (len/segments)·Σ_s cost(gap_s) through the PAA of
+        // the |Δ| profile never exceeds the squared DUST distance — the
+        // exact inequality the candidate index stakes pruning on.
+        let errors = [pe(ErrorFamily::Normal, 0.4), pe(ErrorFamily::Uniform, 0.6)];
+        let dust = Dust::default();
+        let env = dust.bound_envelope(&errors).expect("within cap");
+        let mk = |seed: u64, n: usize| -> UncertainSeries {
+            let vals: Vec<f64> = (0..n)
+                .map(|i| ((i as f64 + seed as f64 * 0.7) / 2.3).sin() * 2.0)
+                .collect();
+            let errs: Vec<PointError> = (0..n)
+                .map(|i| errors[(i + seed as usize) % errors.len()])
+                .collect();
+            UncertainSeries::new(vals, errs)
+        };
+        for (n, segments) in [(24usize, 6usize), (17, 5), (16, 16), (9, 1)] {
+            let x = mk(1, n);
+            let y = mk(5, n);
+            let gaps: Vec<f64> = x
+                .values()
+                .iter()
+                .zip(y.values())
+                .map(|(a, b)| (a - b).abs())
+                .collect();
+            let paa_gaps = uts_tseries::paa::paa(&gaps, segments);
+            let bound_sq =
+                (n as f64 / segments as f64) * paa_gaps.iter().map(|&g| env.cost(g)).sum::<f64>();
+            let exact_sq = dust
+                .distance_sq_early_abandon(&x, &y, f64::INFINITY)
+                .unwrap();
+            assert!(
+                bound_sq <= exact_sq * (1.0 + 1e-9) + 1e-12,
+                "n={n} m={segments}: bound {bound_sq} > exact {exact_sq}"
+            );
+        }
+    }
+
+    #[test]
+    fn within_sq_matches_the_kernel_decision() {
+        let errs: Vec<PointError> = (0..10)
+            .map(|i| pe(ErrorFamily::ALL[i % 3], 0.3 + 0.15 * (i % 4) as f64))
+            .collect();
+        let x = UncertainSeries::new(
+            vec![0.0, 1.0, -0.5, 2.0, 0.3, -1.1, 0.8, 0.2, -0.4, 1.6],
+            errs.clone(),
+        );
+        let y = UncertainSeries::new(
+            vec![1.0, 1.0, 0.5, 0.0, -0.2, 0.4, 1.3, -0.7, 0.9, -1.0],
+            errs,
+        );
+        for dust in [
+            Dust::default(),
+            Dust::new(DustConfig {
+                exact_evaluation: true,
+                ..DustConfig::default()
+            }),
+            // Tiny grid: most points fall beyond it (exact-value brackets).
+            Dust::new(DustConfig {
+                table_max_delta: 0.5,
+                table_resolution: 8,
+                ..DustConfig::default()
+            }),
+        ] {
+            let sq = dust
+                .distance_sq_early_abandon(&x, &y, f64::INFINITY)
+                .unwrap();
+            // Cutoffs on both sides of the sum, at it, just under it, and
+            // degenerate — the decision must match the kernel's exactly.
+            for cutoff in [
+                -1.0,
+                0.0,
+                sq * 0.25,
+                sq.next_down(),
+                sq,
+                sq.next_up(),
+                sq * 4.0,
+                f64::INFINITY,
+            ] {
+                assert_eq!(
+                    dust.within_sq(&x, &y, cutoff),
+                    dust.distance_sq_early_abandon(&x, &y, cutoff).is_some(),
+                    "cutoff {cutoff}"
+                );
+            }
+        }
     }
 }

@@ -40,9 +40,11 @@
 //!
 //! On top of the prepared state, `prepare` also builds a lower-bound
 //! candidate index ([`crate::index`]) for the value-based techniques
-//! when the collection is large enough: range and top-k queries then
-//! generate candidates sub-linearly (leaf-MBR and per-series PAA bounds)
-//! before the exact kernels decide, with the same bit-identity contract
+//! *and* for DUST (whose per-segment pruning cost is the φ-space
+//! envelope of [`crate::dust::Dust::bound_envelope`]) when the
+//! collection is large enough: range and top-k queries then generate
+//! candidates sub-linearly (leaf-MBR and per-series PAA bounds) before
+//! the exact kernels decide, with the same bit-identity contract
 //! (admissible bounds never dismiss a true answer; the exact kernel
 //! still makes every accept/reject decision).
 
@@ -58,6 +60,7 @@ use uts_tseries::dtw::{lb_keogh_enveloped, DtwOptions, DtwWorkspace, KeoghEnvelo
 use uts_tseries::TimeSeries;
 use uts_uncertain::{MultiObsSeries, PointError, UncertainSeries};
 
+use crate::dust::DustBoundTable;
 use crate::index::{admits, CandidateIndex, IndexConfig, IndexCounters, IndexStats};
 use crate::matching::{GroundTruth, MatchingTask, QualityScores, Technique};
 use crate::munich::MbiEnvelope;
@@ -88,11 +91,26 @@ impl std::error::Error for PrepareError {}
 /// pair (see the module docs for what each technique precomputes).
 #[derive(Debug)]
 enum Prepared {
-    /// Euclidean, DUST and PROUD carry no extra per-query state beyond
-    /// what their technique values already cache internally.
+    /// Euclidean and PROUD carry no extra per-query state beyond what
+    /// their technique values already cache internally.
     Plain,
     /// UMA/UEMA: the filtered view of every collection member.
     Filtered(Vec<TimeSeries>),
+    /// DUST: the collection's distinct error descriptions (empty when
+    /// they exceed the warm-table cap) plus the φ-space cost envelope
+    /// that makes the candidate index admissible for DUST (`None` when
+    /// the envelope is unavailable — exact-evaluation mode, capped error
+    /// sets, or a construction refusal — in which case DUST queries keep
+    /// the exact scan).
+    Dust {
+        errors: Vec<PointError>,
+        envelope: Option<DustBoundTable>,
+        /// Largest |value| across the collection: together with the
+        /// query's own maximum it bounds every per-point gap a query can
+        /// produce, which must stay inside the envelope's validity
+        /// horizon for the index bound to be admissible.
+        max_abs: f64,
+    },
     /// MUNICH: the MBI envelope of every collection member.
     Munich(Vec<MbiEnvelope>),
 }
@@ -229,10 +247,13 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
 
     /// The candidate index over the technique's value view — the
     /// representation its exact kernel compares: observed values for
-    /// Euclidean, the *filtered* series for UMA/UEMA. DUST, PROUD and
-    /// MUNICH distances are not Euclidean over any stored per-series
-    /// vector, so they bypass the index (their queries count as
-    /// `scan_queries` in [`IndexStats`]).
+    /// Euclidean and DUST (DUST's pruning pushes PAA gaps through its
+    /// φ-space cost envelope; see [`crate::index`]'s module docs), the
+    /// *filtered* series for UMA/UEMA. PROUD and MUNICH distances are
+    /// not of the required shape over any stored per-series vector, so
+    /// they bypass the index (their queries count as `scan_queries` in
+    /// [`IndexStats`]); DUST also skips the build when its envelope is
+    /// unavailable.
     fn build_index(
         task: &MatchingTask,
         technique: &Technique,
@@ -241,6 +262,12 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
     ) -> Option<CandidateIndex> {
         let views: Vec<&[f64]> = match (technique, state) {
             (Technique::Euclidean, _) => task.uncertain().iter().map(|u| u.values()).collect(),
+            (
+                Technique::Dust(_),
+                Prepared::Dust {
+                    envelope: Some(_), ..
+                },
+            ) => task.uncertain().iter().map(|u| u.values()).collect(),
             (Technique::Uma(_) | Technique::Uema(_), Prepared::Filtered(filtered)) => {
                 filtered.iter().map(|f| f.values()).collect()
             }
@@ -273,13 +300,26 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
                     }
                 }
                 d.warm_tables(&errors);
-                Prepared::Plain
+                // The envelope rides on the tables just warmed; `None`
+                // (capped error sets, exact mode, construction refusal)
+                // keeps every DUST query on the exact scan.
+                let envelope = d.bound_envelope(&errors);
+                let max_abs = task
+                    .uncertain()
+                    .iter()
+                    .flat_map(|u| u.values())
+                    .fold(0.0f64, |m, &v| m.max(v.abs()));
+                Prepared::Dust {
+                    errors,
+                    envelope,
+                    max_abs,
+                }
             }
             Technique::Uma(u) => {
-                Prepared::Filtered(task.uncertain().iter().map(|s| u.filter(s)).collect())
+                Prepared::Filtered(parallel_map(task.uncertain(), |s| u.filter(s)))
             }
             Technique::Uema(u) => {
-                Prepared::Filtered(task.uncertain().iter().map(|s| u.filter(s)).collect())
+                Prepared::Filtered(parallel_map(task.uncertain(), |s| u.filter(s)))
             }
             Technique::Munich { .. } => {
                 let multi = task.multi().ok_or(PrepareError::MissingMultiObs)?;
@@ -384,16 +424,38 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
                     euclidean_squared_early_abandon(qv, filtered[i].values(), limit)
                 });
             }
-            (Technique::Dust(d), _, QueryRef::Uncertain(qu)) => {
-                let cutoff = range_cutoff(epsilon);
-                self.counters.scan_queries.fetch_add(1, Ordering::Relaxed);
-                for i in candidates(n, exclude) {
-                    if d.distance_sq_early_abandon(qu, &task.uncertain()[i], cutoff)
-                        .is_some()
-                    {
-                        out.push(i);
-                    }
-                }
+            (
+                Technique::Dust(d),
+                Prepared::Dust {
+                    errors,
+                    envelope,
+                    max_abs,
+                },
+                QueryRef::Uncertain(qu),
+            ) => {
+                // The index engages only when the envelope exists *and*
+                // is admissible for this query — every error description
+                // covered (an external query may carry errors the
+                // envelope was not built over) and every possible
+                // per-point gap inside the envelope's validity horizon;
+                // otherwise this is the exact scan, through the same
+                // decision kernel either way.
+                let env = envelope
+                    .as_ref()
+                    .filter(|e| dust_envelope_applies(errors, *max_abs, e, qu));
+                let cost = |g: f64| match env {
+                    Some(e) => e.cost(g.abs()),
+                    None => 0.0,
+                };
+                out = self.range_select_by(
+                    qu.values(),
+                    epsilon,
+                    n,
+                    exclude,
+                    env.is_some(),
+                    cost,
+                    |i, cutoff| d.within_sq(qu, &task.uncertain()[i], cutoff).then_some(0.0),
+                );
             }
             (Technique::Proud { proud, tau }, _, QueryRef::Uncertain(qu)) => {
                 self.counters.scan_queries.fetch_add(1, Ordering::Relaxed);
@@ -543,11 +605,31 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
                     euclidean_squared_early_abandon(qv, filtered[i].values(), limit)
                 }))
             }
-            (Technique::Dust(d), _, QueryRef::Uncertain(qu)) => {
-                self.counters.scan_queries.fetch_add(1, Ordering::Relaxed);
-                Some(select_top_k(n, exclude, k, |i, limit| {
-                    d.distance_sq_early_abandon(qu, &task.uncertain()[i], limit)
-                }))
+            (
+                Technique::Dust(d),
+                Prepared::Dust {
+                    errors,
+                    envelope,
+                    max_abs,
+                },
+                QueryRef::Uncertain(qu),
+            ) => {
+                let env = envelope
+                    .as_ref()
+                    .filter(|e| dust_envelope_applies(errors, *max_abs, e, qu));
+                let cost = |g: f64| match env {
+                    Some(e) => e.cost(g.abs()),
+                    None => 0.0,
+                };
+                Some(self.top_k_select_by(
+                    qu.values(),
+                    k,
+                    n,
+                    exclude,
+                    env.is_some(),
+                    cost,
+                    |i, limit| d.distance_sq_early_abandon(qu, &task.uncertain()[i], limit),
+                ))
             }
             (Technique::Proud { .. } | Technique::Munich { .. }, _, _) => None,
             _ => panic!("query view does not match the prepared technique"),
@@ -624,22 +706,43 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
         epsilon: f64,
         n: usize,
         exclude: Option<usize>,
+        dist_sq: impl FnMut(usize, f64) -> Option<f64>,
+    ) -> Vec<usize> {
+        self.range_select_by(qv, epsilon, n, exclude, true, |d| d * d, dist_sq)
+    }
+
+    /// Cost-generalised twin of [`Self::range_select`]: the per-segment
+    /// pruning cost is a closure (DUST passes its envelope; `d * d` is
+    /// the Euclidean instance), and `use_index` lets the caller force the
+    /// scan when its bound is not admissible for this query (DUST with no
+    /// envelope or uncovered query errors).
+    #[allow(clippy::too_many_arguments)]
+    fn range_select_by(
+        &self,
+        qv: &[f64],
+        epsilon: f64,
+        n: usize,
+        exclude: Option<usize>,
+        use_index: bool,
+        cost: impl Fn(f64) -> f64,
         mut dist_sq: impl FnMut(usize, f64) -> Option<f64>,
     ) -> Vec<usize> {
         let cutoff = range_cutoff(epsilon);
-        if let Some(ix) = &self.index {
-            if let Some(qp) = ix.query_synopsis(qv) {
-                self.counters
-                    .indexed_queries
-                    .fetch_add(1, Ordering::Relaxed);
-                let cands = ix.range_candidates(&qp, epsilon, exclude, &self.counters);
-                self.counters
-                    .candidates
-                    .fetch_add(cands.len() as u64, Ordering::Relaxed);
-                return cands
-                    .into_iter()
-                    .filter(|&i| dist_sq(i, cutoff).is_some())
-                    .collect();
+        if use_index {
+            if let Some(ix) = &self.index {
+                if let Some(qp) = ix.query_synopsis(qv) {
+                    self.counters
+                        .indexed_queries
+                        .fetch_add(1, Ordering::Relaxed);
+                    let cands = ix.range_candidates_by(&qp, epsilon, exclude, &self.counters, cost);
+                    self.counters
+                        .candidates
+                        .fetch_add(cands.len() as u64, Ordering::Relaxed);
+                    return cands
+                        .into_iter()
+                        .filter(|&i| dist_sq(i, cutoff).is_some())
+                        .collect();
+                }
             }
         }
         self.counters.scan_queries.fetch_add(1, Ordering::Relaxed);
@@ -659,12 +762,30 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
         exclude: Option<usize>,
         dist_sq: impl FnMut(usize, f64) -> Option<f64>,
     ) -> Vec<(usize, f64)> {
-        if let Some(ix) = &self.index {
-            if let Some(qp) = ix.query_synopsis(qv) {
-                self.counters
-                    .indexed_queries
-                    .fetch_add(1, Ordering::Relaxed);
-                return self.indexed_top_k(ix, &qp, k, exclude, dist_sq);
+        self.top_k_select_by(qv, k, n, exclude, true, |d| d * d, dist_sq)
+    }
+
+    /// Cost-generalised twin of [`Self::top_k_select`] (see
+    /// [`Self::range_select_by`] for the `use_index`/`cost` convention).
+    #[allow(clippy::too_many_arguments)]
+    fn top_k_select_by(
+        &self,
+        qv: &[f64],
+        k: usize,
+        n: usize,
+        exclude: Option<usize>,
+        use_index: bool,
+        cost: impl Fn(f64) -> f64,
+        dist_sq: impl FnMut(usize, f64) -> Option<f64>,
+    ) -> Vec<(usize, f64)> {
+        if use_index {
+            if let Some(ix) = &self.index {
+                if let Some(qp) = ix.query_synopsis(qv) {
+                    self.counters
+                        .indexed_queries
+                        .fetch_add(1, Ordering::Relaxed);
+                    return self.indexed_top_k(ix, &qp, k, exclude, cost, dist_sq);
+                }
             }
         }
         self.counters.scan_queries.fetch_add(1, Ordering::Relaxed);
@@ -691,13 +812,14 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
         qp: &[f64],
         k: usize,
         exclude: Option<usize>,
+        cost: impl Fn(f64) -> f64,
         mut dist_sq: impl FnMut(usize, f64) -> Option<f64>,
     ) -> Vec<(usize, f64)> {
         let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
         let mut limit = f64::INFINITY;
         let mut bound = f64::INFINITY; // current k-th best distance
         let mut prune_limit = f64::INFINITY; // squared-space twin of `bound`
-        let order = ix.leaves_by_lower_bound(qp);
+        let order = ix.leaves_by_lower_bound_by(qp, &cost);
         let mut leaves_visited = 0u64;
         let mut leaves_pruned = 0u64;
         let mut series_pruned = 0u64;
@@ -713,7 +835,7 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
                 if Some(i) == exclude {
                     continue;
                 }
-                if best.len() == k && ix.member_bound_exceeds(qp, i, prune_limit) {
+                if best.len() == k && ix.member_bound_exceeds_by(qp, i, prune_limit, &cost) {
                     series_pruned += 1;
                     continue;
                 }
@@ -805,6 +927,33 @@ pub(crate) fn clean_ground_truth(clean: &[TimeSeries], q: usize, k: usize) -> Gr
 /// local index (the query's own slot when it lives in this collection).
 fn candidates(n: usize, exclude: Option<usize>) -> impl Iterator<Item = usize> {
     (0..n).filter(move |&i| Some(i) != exclude)
+}
+
+/// Whether every error description the query carries was part of the set
+/// the DUST envelope was built over. A local query always is; an
+/// external query (another shard's member, or ad-hoc) may carry a
+/// (family, σ) the envelope never saw, in which case its lower bound is
+/// not admissible and the engine must keep the exact scan.
+fn dust_query_covered(errors: &[PointError], qu: &UncertainSeries) -> bool {
+    qu.errors()
+        .iter()
+        .all(|e| errors.iter().any(|k| crate::dust::same_error(k, e)))
+}
+
+/// Whether the DUST envelope's lower bound is admissible for this query:
+/// every query error description covered, and the largest per-point gap
+/// the query can produce against any collection member — its own maximum
+/// |value| plus the collection's — inside the envelope's validity
+/// horizon. Non-finite values fail the comparison and fall back to the
+/// exact scan.
+fn dust_envelope_applies(
+    errors: &[PointError],
+    max_abs: f64,
+    envelope: &DustBoundTable,
+    qu: &UncertainSeries,
+) -> bool {
+    let q_max = qu.values().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    q_max + max_abs <= envelope.valid_delta() && dust_query_covered(errors, qu)
 }
 
 /// Exact cutoff for `distance <= epsilon` decisions in squared space,
@@ -1072,6 +1221,45 @@ mod unit {
                 assert!(task.answer_set_naive(0, &technique, eps).is_empty());
             }
         }
+    }
+
+    #[test]
+    fn dust_uncovered_external_query_falls_back_to_scan() {
+        let task = toy_task(41, 12, 20, 0.4, 3);
+        let technique = Technique::Dust(Dust::default());
+        let indexed = QueryEngine::prepare_with(&task, &technique, IndexConfig::always());
+        let scan = QueryEngine::prepare_with(&task, &technique, IndexConfig::disabled());
+        assert!(indexed.is_indexed(), "DUST builds the index when enveloped");
+        // Local queries engage the index (their errors are by definition
+        // part of the envelope's set)...
+        let _ = indexed.answer_set(0, 1.0);
+        assert_eq!(indexed.index_stats().indexed_queries, 1);
+        // ...but an external query carrying a σ the envelope never saw
+        // must not: its lower bound would be inadmissible.
+        let foreign = UncertainSeries::new(
+            task.uncertain()[0].values().to_vec(),
+            vec![PointError::new(ErrorFamily::Normal, 0.123); 20],
+        );
+        let before = indexed.index_stats();
+        for eps in [0.5, 1.5, 4.0] {
+            assert_eq!(
+                indexed.answer_set_ref(&QueryRef::Uncertain(&foreign), eps, None),
+                scan.answer_set_ref(&QueryRef::Uncertain(&foreign), eps, None),
+                "eps={eps}"
+            );
+        }
+        let gk = indexed
+            .top_k_ref(&QueryRef::Uncertain(&foreign), 3, None)
+            .unwrap();
+        let wk = scan
+            .top_k_ref(&QueryRef::Uncertain(&foreign), 3, None)
+            .unwrap();
+        assert_eq!(gk.len(), wk.len());
+        for (a, b) in gk.iter().zip(&wk) {
+            assert_eq!((a.0, a.1.to_bits()), (b.0, b.1.to_bits()));
+        }
+        let delta = indexed.index_stats().since(&before);
+        assert_eq!((delta.indexed_queries, delta.scan_queries), (0, 4));
     }
 
     #[test]

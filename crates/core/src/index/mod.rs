@@ -57,12 +57,41 @@
 //! The margin admits those borderline candidates to the exact kernel,
 //! which then makes the bit-exact decision.
 //!
+//! # Beyond Euclidean: cost-generalised bounds
+//!
+//! Both bounds generalise from `gap²` to any *monotone convex* per-segment
+//! cost `H(|gap|)` with `H(0) = 0`: by Jensen's inequality the PAA
+//! averaging step only shrinks `Σᵢ H(|Δᵢ|)`, so
+//! `scale · sqrt(Σ_s H(gap_s))` stays an admissible lower bound whenever
+//! the exact distance is `sqrt(Σᵢ h(Δᵢ))` with `h(Δ) ≥ H(|Δ|)` pointwise.
+//! The `_by` variants ([`CandidateIndex::range_candidates_by`],
+//! [`CandidateIndex::leaves_by_lower_bound_by`],
+//! [`CandidateIndex::member_bound_exceeds_by`]) take that cost as a
+//! closure; the plain methods are the `cost(d) = d²` Euclidean instance.
+//! This is what lets DUST queries run through the index: the engine pushes
+//! per-segment gaps through a conservatively-rounded monotone convex
+//! envelope of the `dust²` tables
+//! ([`Dust::bound_envelope`](crate::dust::Dust::bound_envelope)).
+//!
 //! Which representation is indexed follows the engine's prepared state:
 //! Euclidean indexes the observed values, UMA/UEMA index the *filtered*
-//! series (the representation their exact kernels compare). DUST, PROUD
-//! and MUNICH distances are not Euclidean on any per-series vector the
-//! engine stores, so those techniques transparently bypass the index and
-//! keep their exact scans (counted as `scan_queries` in [`IndexStats`]).
+//! series (the representation their exact kernels compare), and DUST
+//! indexes the observed values with the φ-space cost envelope above.
+//! PROUD and MUNICH distances are not of the `sqrt(Σᵢ h(Δᵢ))` shape on
+//! any per-series vector the engine stores, so those two techniques
+//! transparently bypass the index and keep their exact scans (counted as
+//! `scan_queries` in [`IndexStats`]); DUST also falls back to the scan
+//! when its envelope is unavailable (exact-evaluation mode, error sets
+//! beyond the warm-table cap, or an envelope construction refusal).
+//!
+//! # Parallel construction
+//!
+//! [`CandidateIndex::build`] fans the PAA summarization and the per-leaf
+//! MBR construction over all cores via
+//! [`parallel_map`](crate::parallel::parallel_map); both stages are
+//! order-preserving and per-item pure, so the layout is bit-identical to
+//! [`CandidateIndex::build_serial`] (asserted in the unit suite). On a
+//! single-core host `parallel_map` degrades to the sequential loop.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -192,8 +221,23 @@ impl CandidateIndex {
     /// the config rules it out (disabled, below `min_collection`) or the
     /// collection shape cannot be indexed (empty series, ragged
     /// lengths — the exact scan handles whatever semantics those have).
+    ///
+    /// Summarization and leaf construction run over all cores (see the
+    /// module docs); the layout is bit-identical to
+    /// [`Self::build_serial`].
     #[must_use]
     pub fn build(views: &[&[f64]], cfg: &IndexConfig) -> Option<Self> {
+        Self::build_impl(views, cfg, true)
+    }
+
+    /// Single-threaded twin of [`Self::build`] — the reference layout the
+    /// parallel build is asserted against.
+    #[must_use]
+    pub fn build_serial(views: &[&[f64]], cfg: &IndexConfig) -> Option<Self> {
+        Self::build_impl(views, cfg, false)
+    }
+
+    fn build_impl(views: &[&[f64]], cfg: &IndexConfig, parallel: bool) -> Option<Self> {
         if !cfg.enabled || views.len() < cfg.min_collection.max(1) {
             return None;
         }
@@ -206,10 +250,20 @@ impl CandidateIndex {
         let leaf_capacity = cfg.leaf_capacity.max(1);
         let n = views.len();
 
-        let mut member_paa = Vec::with_capacity(n * segments);
-        for v in views {
-            member_paa.extend_from_slice(&paa(v, segments));
-        }
+        // Per-member PAA is pure and order-preserving, so fanning it over
+        // cores cannot change a single bit of the flat synopsis array.
+        let member_paa: Vec<f64> = if parallel {
+            crate::parallel::parallel_map(views, |v| paa(v, segments))
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            let mut acc = Vec::with_capacity(n * segments);
+            for v in views {
+                acc.extend_from_slice(&paa(v, segments));
+            }
+            acc
+        };
 
         // SAX words drive the packing order only: members whose coarse
         // shapes quantise alike become leaf neighbours, which is what
@@ -227,23 +281,26 @@ impl CandidateIndex {
                 .then(a.cmp(&b))
         });
 
-        let leaves = order
-            .chunks(leaf_capacity)
-            .map(|chunk| {
-                let mut members = chunk.to_vec();
-                members.sort_unstable();
-                let mut lo = vec![f64::INFINITY; segments];
-                let mut hi = vec![f64::NEG_INFINITY; segments];
-                for &i in &members {
-                    let means = &member_paa[i * segments..(i + 1) * segments];
-                    for (d, &m) in means.iter().enumerate() {
-                        lo[d] = lo[d].min(m);
-                        hi[d] = hi[d].max(m);
-                    }
+        let build_leaf = |chunk: &&[usize]| {
+            let mut members = chunk.to_vec();
+            members.sort_unstable();
+            let mut lo = vec![f64::INFINITY; segments];
+            let mut hi = vec![f64::NEG_INFINITY; segments];
+            for &i in &members {
+                let means = &member_paa[i * segments..(i + 1) * segments];
+                for (d, &m) in means.iter().enumerate() {
+                    lo[d] = lo[d].min(m);
+                    hi[d] = hi[d].max(m);
                 }
-                Leaf { members, lo, hi }
-            })
-            .collect();
+            }
+            Leaf { members, lo, hi }
+        };
+        let chunks: Vec<&[usize]> = order.chunks(leaf_capacity).collect();
+        let leaves = if parallel {
+            crate::parallel::parallel_map(&chunks, build_leaf)
+        } else {
+            chunks.iter().map(build_leaf).collect()
+        };
 
         Some(Self {
             series_len,
@@ -326,11 +383,26 @@ impl CandidateIndex {
     /// limit is crossed.
     #[must_use]
     pub fn member_bound_exceeds(&self, qp: &[f64], i: usize, limit: f64) -> bool {
+        self.member_bound_exceeds_by(qp, i, limit, |d| d * d)
+    }
+
+    /// Cost-generalised twin of [`Self::member_bound_exceeds`]: the
+    /// per-segment contribution is `cost(q − m)` instead of `(q − m)²`
+    /// (see the module docs for the admissibility requirements on
+    /// `cost`). `cost(d) = d * d` reproduces the Euclidean bound
+    /// bit-for-bit.
+    #[must_use]
+    pub fn member_bound_exceeds_by(
+        &self,
+        qp: &[f64],
+        i: usize,
+        limit: f64,
+        cost: impl Fn(f64) -> f64,
+    ) -> bool {
         let means = &self.member_paa[i * self.segments..(i + 1) * self.segments];
         let mut acc = 0.0;
         for (&q, &m) in qp.iter().zip(means) {
-            let d = q - m;
-            acc += d * d;
+            acc += cost(q - m);
             if acc > limit {
                 return true;
             }
@@ -338,9 +410,15 @@ impl CandidateIndex {
         false
     }
 
-    /// Early-abandoning twin of [`Self::leaf_lower_bound`] against a
-    /// squared-space limit.
-    fn leaf_bound_exceeds(&self, qp: &[f64], leaf: &Leaf, limit: f64) -> bool {
+    /// Early-abandoning twin of [`Self::leaf_lower_bound_by`] against a
+    /// squared-space (cost-space) limit.
+    fn leaf_bound_exceeds_by(
+        &self,
+        qp: &[f64],
+        leaf: &Leaf,
+        limit: f64,
+        cost: &impl Fn(f64) -> f64,
+    ) -> bool {
         let mut acc = 0.0;
         for ((&q, &lo), &hi) in qp.iter().zip(&leaf.lo).zip(&leaf.hi) {
             let d = if q < lo {
@@ -350,7 +428,7 @@ impl CandidateIndex {
             } else {
                 0.0
             };
-            acc += d * d;
+            acc += cost(d);
             if acc > limit {
                 return true;
             }
@@ -359,9 +437,9 @@ impl CandidateIndex {
     }
 
     /// The admissible MBR lower bound between the query and *every*
-    /// member of leaf `leaf`: per segment, the gap from the query mean to
-    /// the rectangle (zero inside it).
-    fn leaf_lower_bound(&self, qp: &[f64], leaf: &Leaf) -> f64 {
+    /// member of leaf `leaf`: per segment, the cost of the gap from the
+    /// query mean to the rectangle (zero inside it).
+    fn leaf_lower_bound_by(&self, qp: &[f64], leaf: &Leaf, cost: &impl Fn(f64) -> f64) -> f64 {
         let mut acc = 0.0;
         for ((&q, &lo), &hi) in qp.iter().zip(&leaf.lo).zip(&leaf.hi) {
             let d = if q < lo {
@@ -371,7 +449,7 @@ impl CandidateIndex {
             } else {
                 0.0
             };
-            acc += d * d;
+            acc += cost(d);
         }
         self.scale * acc.sqrt()
     }
@@ -391,13 +469,28 @@ impl CandidateIndex {
         exclude: Option<usize>,
         counters: &IndexCounters,
     ) -> Vec<usize> {
+        self.range_candidates_by(qp, epsilon, exclude, counters, |d| d * d)
+    }
+
+    /// Cost-generalised twin of [`Self::range_candidates`] (see the
+    /// module docs; `cost(d) = d * d` reproduces the Euclidean behaviour
+    /// bit-for-bit).
+    #[must_use]
+    pub fn range_candidates_by(
+        &self,
+        qp: &[f64],
+        epsilon: f64,
+        exclude: Option<usize>,
+        counters: &IndexCounters,
+        cost: impl Fn(f64) -> f64,
+    ) -> Vec<usize> {
         let mut out = Vec::new();
         let mut leaves_visited = 0u64;
         let mut leaves_pruned = 0u64;
         let mut series_pruned = 0u64;
         let limit = self.squared_prune_limit(epsilon);
         for leaf in &self.leaves {
-            if self.leaf_bound_exceeds(qp, leaf, limit) {
+            if self.leaf_bound_exceeds_by(qp, leaf, limit, &cost) {
                 leaves_pruned += 1;
                 continue;
             }
@@ -406,7 +499,7 @@ impl CandidateIndex {
                 if Some(i) == exclude {
                     continue;
                 }
-                if self.member_bound_exceeds(qp, i, limit) {
+                if self.member_bound_exceeds_by(qp, i, limit, &cost) {
                     series_pruned += 1;
                     continue;
                 }
@@ -432,11 +525,23 @@ impl CandidateIndex {
     /// proves the remainder unreachable.
     #[must_use]
     pub fn leaves_by_lower_bound(&self, qp: &[f64]) -> Vec<(f64, usize)> {
+        self.leaves_by_lower_bound_by(qp, |d| d * d)
+    }
+
+    /// Cost-generalised twin of [`Self::leaves_by_lower_bound`] (see the
+    /// module docs; `cost(d) = d * d` reproduces the Euclidean behaviour
+    /// bit-for-bit).
+    #[must_use]
+    pub fn leaves_by_lower_bound_by(
+        &self,
+        qp: &[f64],
+        cost: impl Fn(f64) -> f64,
+    ) -> Vec<(f64, usize)> {
         let mut order: Vec<(f64, usize)> = self
             .leaves
             .iter()
             .enumerate()
-            .map(|(id, leaf)| (self.leaf_lower_bound(qp, leaf), id))
+            .map(|(id, leaf)| (self.leaf_lower_bound_by(qp, leaf, &cost), id))
             .collect();
         order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         order
@@ -694,6 +799,78 @@ mod unit {
         let (_, ix) = build(30, 16, &IndexConfig::always());
         assert!(ix.query_synopsis(&[0.0; 15]).is_none());
         assert!(ix.query_synopsis(&[0.0; 16]).is_some());
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_layout() {
+        let vs = views(300, 48);
+        let refs: Vec<&[f64]> = vs.iter().map(|v| v.as_slice()).collect();
+        for cfg in [
+            IndexConfig::always(),
+            IndexConfig {
+                segments: 7,
+                leaf_capacity: 5,
+                alphabet: 3,
+                ..IndexConfig::always()
+            },
+        ] {
+            let par = CandidateIndex::build(&refs, &cfg).expect("parallel build");
+            let ser = CandidateIndex::build_serial(&refs, &cfg).expect("serial build");
+            assert_eq!(par.series_len, ser.series_len);
+            assert_eq!(par.segments, ser.segments);
+            assert_eq!(par.scale.to_bits(), ser.scale.to_bits());
+            assert_eq!(par.member_paa.len(), ser.member_paa.len());
+            assert!(par
+                .member_paa
+                .iter()
+                .zip(&ser.member_paa)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            assert_eq!(par.leaf_count(), ser.leaf_count());
+            for (a, b) in par.leaves.iter().zip(&ser.leaves) {
+                assert_eq!(a.members, b.members);
+                assert!(a
+                    .lo
+                    .iter()
+                    .zip(&b.lo)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()));
+                assert!(a
+                    .hi
+                    .iter()
+                    .zip(&b.hi)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn cost_generalised_bounds_reduce_to_euclidean() {
+        let (vs, ix) = build(80, 24, &IndexConfig::always());
+        let counters = IndexCounters::default();
+        let qp = ix.query_synopsis(&vs[9]).unwrap();
+        let sq = |d: f64| d * d;
+        for eps in [0.0, 1.0, 3.0, f64::INFINITY] {
+            assert_eq!(
+                ix.range_candidates(&qp, eps, Some(9), &counters),
+                ix.range_candidates_by(&qp, eps, Some(9), &counters, sq),
+                "eps={eps}"
+            );
+        }
+        let plain = ix.leaves_by_lower_bound(&qp);
+        let by = ix.leaves_by_lower_bound_by(&qp, sq);
+        assert_eq!(plain.len(), by.len());
+        assert!(plain
+            .iter()
+            .zip(&by)
+            .all(|(a, b)| a.0.to_bits() == b.0.to_bits() && a.1 == b.1));
+        for limit in [ix.squared_prune_limit(1.0), ix.squared_prune_limit(0.0)] {
+            for i in 0..ix.len() {
+                assert_eq!(
+                    ix.member_bound_exceeds(&qp, i, limit),
+                    ix.member_bound_exceeds_by(&qp, i, limit, sq),
+                    "i={i}"
+                );
+            }
+        }
     }
 
     #[test]

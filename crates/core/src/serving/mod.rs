@@ -223,6 +223,13 @@ impl ShardedEngine {
     }
 
     /// Point-in-time pruning statistics summed across all shards.
+    ///
+    /// Covers every technique the per-shard candidate index serves —
+    /// the value-based ones and DUST (whose bound pushes PAA gaps
+    /// through the φ-space cost envelope); a DUST query that falls
+    /// outside the envelope's validity horizon on some shard shows up
+    /// in `scan_queries` there while still counting `indexed_queries`
+    /// on shards where it engages.
     pub fn index_stats(&self) -> IndexStats {
         let mut total = IndexStats::default();
         for shard in &self.shards {

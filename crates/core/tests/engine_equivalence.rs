@@ -390,31 +390,32 @@ fn munich_mixed_sample_counts_bit_identical() {
     }
 }
 
-/// The index engages exactly where it should: value-based techniques
-/// (Euclidean, UMA, UEMA) build an index under `always()` and route
-/// their range/top-k queries through it; DUST, PROUD and MUNICH bypass
-/// it and count as scan queries — and `disabled()` keeps everyone on
-/// the scan path.
+/// The index engages exactly where it should: the value-based
+/// techniques (Euclidean, UMA, UEMA) and DUST (whose φ-space envelope
+/// is available on these constant-σ workloads) build an index under
+/// `always()` and route their range/top-k queries through it; PROUD and
+/// MUNICH bypass it and count as scan queries — and `disabled()` keeps
+/// everyone on the scan path.
 #[test]
 fn index_engagement_follows_the_technique() {
     let w = &WORKLOADS[0];
     let task = build(w);
     for technique in techniques(w.sigma) {
         let indexed = QueryEngine::prepare_with(&task, &technique, IndexConfig::always());
-        let value_based = matches!(
+        let engages = matches!(
             technique,
-            Technique::Euclidean | Technique::Uma(_) | Technique::Uema(_)
+            Technique::Euclidean | Technique::Uma(_) | Technique::Uema(_) | Technique::Dust(_)
         );
         assert_eq!(
             indexed.is_indexed(),
-            value_based,
-            "{}: index built iff value-based",
+            engages,
+            "{}: index built iff the technique engages it",
             technique.kind()
         );
         let eps = task.calibrated_threshold(0, &technique);
         let _ = indexed.answer_set(0, eps);
         let stats = indexed.index_stats();
-        if value_based {
+        if engages {
             assert_eq!(
                 (stats.indexed_queries, stats.scan_queries),
                 (1, 0),

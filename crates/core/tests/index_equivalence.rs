@@ -9,13 +9,14 @@
 //! constant.
 
 use proptest::prelude::*;
+use uts_core::dust::{Dust, DustConfig};
 use uts_core::engine::QueryEngine;
 use uts_core::index::{admits, IndexConfig};
 use uts_core::matching::{MatchingTask, Technique};
 use uts_core::uma::Uma;
 use uts_stats::rng::Seed;
 use uts_tseries::TimeSeries;
-use uts_uncertain::{perturb, ErrorFamily, ErrorSpec, UncertainSeries};
+use uts_uncertain::{perturb, ErrorFamily, ErrorSpec, PointError, UncertainSeries};
 
 fn build_task(seed: u64, n: usize, len: usize, k: usize) -> MatchingTask {
     let root = Seed::new(seed);
@@ -76,8 +77,9 @@ proptest! {
     /// Random collection × index geometry: answer sets (at the
     /// calibrated threshold — which sits *exactly* on the anchor's
     /// distance — and scaled sparse/dense) and top-k are bit-identical
-    /// to the naive path for Euclidean and UMA, through any segment
-    /// count (including identity PAA), alphabet and leaf capacity.
+    /// to the naive path for Euclidean, UMA and DUST (the φ-space
+    /// envelope bound), through any segment count (including identity
+    /// PAA), alphabet and leaf capacity.
     #[test]
     fn random_geometry_never_moves_an_answer(
         seed in any::<u64>(),
@@ -95,7 +97,11 @@ proptest! {
             leaf_capacity,
             ..IndexConfig::always()
         };
-        for technique in [Technique::Euclidean, Technique::Uma(Uma::default())] {
+        for technique in [
+            Technique::Euclidean,
+            Technique::Uma(Uma::default()),
+            Technique::Dust(Dust::default()),
+        ] {
             let indexed = QueryEngine::prepare_with(&task, &technique, cfg);
             prop_assert!(indexed.is_indexed());
             for q in [0, n - 1] {
@@ -169,6 +175,87 @@ fn identical_members_tie_exactly_like_the_scan() {
                     }
                 }
             }
+        }
+    }
+}
+
+/// DUST with per-point σ beyond the warm-table cap: no envelope exists,
+/// so `prepare_with(always())` must refuse the index and keep every
+/// query on the exact scan — bit-identical to the naive path, with the
+/// fallback visible in the stats. A multi-family error set *within* the
+/// cap builds the envelope and engages the index with the same
+/// bit-identity.
+#[test]
+fn dust_error_cardinality_gates_the_index() {
+    let n = 8;
+    let len = 24;
+    let mk_task = |error: &dyn Fn(usize, usize) -> PointError| -> MatchingTask {
+        let clean: Vec<TimeSeries> = (0..n)
+            .map(|i| {
+                TimeSeries::from_values((0..len).map(|t| ((t as f64 / 3.0) + i as f64 * 0.7).sin()))
+                    .znormalized()
+            })
+            .collect();
+        let uncertain: Vec<UncertainSeries> = clean
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let errors: Vec<PointError> = (0..len).map(|t| error(i, t)).collect();
+                UncertainSeries::new(c.values().to_vec(), errors)
+            })
+            .collect();
+        MatchingTask::new(clean, uncertain, None, 3)
+    };
+    // Reduced grid keeps the many lazy table builds of the capped case
+    // and the cross-family envelope of the enveloped case cheap; the
+    // gating logic under test is resolution-independent.
+    let technique = Technique::Dust(Dust::new(DustConfig {
+        table_resolution: 256,
+        ..DustConfig::default()
+    }));
+    // Every (member, point) gets its own σ: 8 × 24 = 192 distinct
+    // descriptions, far beyond MAX_WARM_ERRORS — the lazy fallback.
+    // (All-Normal keeps every lazily-built table closed-form.)
+    let capped =
+        mk_task(&|i, t| PointError::new(ErrorFamily::Normal, 0.1 + (i * len + t) as f64 * 1e-3));
+    // Three families × two σ levels: six descriptions, within the cap.
+    let enveloped = mk_task(&|i, t| {
+        PointError::new(
+            ErrorFamily::ALL[(i + t) % 3],
+            if (i + t) % 2 == 0 { 0.3 } else { 0.6 },
+        )
+    });
+    for (task, expect_index) in [(&capped, false), (&enveloped, true)] {
+        let indexed = QueryEngine::prepare_with(task, &technique, IndexConfig::always());
+        let naive = QueryEngine::prepare_with(task, &technique, IndexConfig::disabled());
+        assert_eq!(indexed.is_indexed(), expect_index);
+        for q in [0, n - 1] {
+            let eps = task.calibrated_threshold(q, &technique);
+            for scale in [0.5, 1.0, 2.0] {
+                assert_eq!(
+                    indexed.answer_set(q, eps * scale),
+                    naive.answer_set(q, eps * scale),
+                    "expect_index={expect_index} q={q} scale={scale}"
+                );
+            }
+            let fast = indexed.top_k(q, 3).unwrap();
+            let slow = naive.top_k(q, 3).unwrap();
+            assert_eq!(fast.len(), slow.len());
+            for (a, b) in fast.iter().zip(&slow) {
+                assert_eq!(
+                    (a.0, a.1.to_bits()),
+                    (b.0, b.1.to_bits()),
+                    "expect_index={expect_index} q={q}"
+                );
+            }
+        }
+        let stats = indexed.index_stats();
+        if expect_index {
+            assert_eq!(stats.scan_queries, 0, "enveloped DUST stays indexed");
+            assert!(stats.indexed_queries > 0);
+        } else {
+            assert_eq!(stats.indexed_queries, 0, "capped DUST stays on the scan");
+            assert!(stats.scan_queries > 0);
         }
     }
 }

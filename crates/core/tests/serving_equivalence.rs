@@ -423,9 +423,11 @@ fn concurrent_queries_are_consistent() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Random collection size × shard count × assignment × index on/off:
-    /// the sharded merge equals the naive reference for top-k (indices
-    /// and bit-level distances) and range answers — the boundary cases a
+    /// Random collection size × shard count × assignment × index on/off
+    /// × technique (Euclidean and DUST — the two whose indexed paths
+    /// cross shard boundaries with external query views): the sharded
+    /// merge equals the naive reference for top-k (indices and
+    /// bit-level distances) and range answers — the boundary cases a
     /// fixed-size suite can miss (empty shards, size-1 shards, k beyond
     /// shard sizes, leaves holding a single member).
     #[test]
@@ -436,10 +438,15 @@ proptest! {
         assignment in prop::sample::select(ASSIGNMENTS.to_vec()),
         k in 1usize..6,
         use_index in any::<bool>(),
+        use_dust in any::<bool>(),
     ) {
         let k = k.min(n - 2);
         let task = build_task(seed, n, 12, k.max(1));
-        let technique = Technique::Euclidean;
+        let technique = if use_dust {
+            Technique::Dust(Dust::default())
+        } else {
+            Technique::Euclidean
+        };
         let cfg = if use_index { IndexConfig::always() } else { IndexConfig::disabled() };
         let sharded = ShardedEngine::prepare_with(&task, &technique, shards, assignment, cfg);
         for q in [0, n / 2, n - 1] {

@@ -36,6 +36,48 @@ pub fn adaptive_simpson(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64, max_de
     simpson_rec(&f, a, b, fa, fm, fb, whole, tol, max_depth)
 }
 
+/// Adaptive Simpson quadrature over `[a, b]`, split at the interior
+/// `breaks` before adapting.
+///
+/// Plain adaptive Simpson probes an interval only at its endpoints and
+/// midpoints; an integrand whose mass is a narrow spike away from those
+/// probes — a density product `f(u)·g(u − Δ)` at large `Δ` over supports
+/// stretching ±40σ, say — looks identically zero at every probe and the
+/// recursion terminates immediately with ~0. Seeding the partition with
+/// the integrand's known structure points (density centers, support
+/// kinks) guarantees a panel endpoint lands near every potential mass
+/// concentration, so the adaptive refinement engages.
+///
+/// Breaks outside `(a, b)` and duplicates are ignored (NaN breaks are
+/// dropped by the range filter); `tol` is the absolute error target per
+/// panel.
+pub fn adaptive_simpson_with_breaks(
+    f: impl Fn(f64) -> f64,
+    a: f64,
+    b: f64,
+    breaks: &[f64],
+    tol: f64,
+    max_depth: u32,
+) -> f64 {
+    if a > b {
+        return -adaptive_simpson_with_breaks(f, b, a, breaks, tol, max_depth);
+    }
+    let mut cuts: Vec<f64> = breaks
+        .iter()
+        .copied()
+        .filter(|c| *c > a && *c < b)
+        .collect();
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup();
+    let mut acc = 0.0;
+    let mut lo = a;
+    for c in cuts {
+        acc += adaptive_simpson(&f, lo, c, tol, max_depth);
+        lo = c;
+    }
+    acc + adaptive_simpson(&f, lo, b, tol, max_depth)
+}
+
 /// Simpson's rule on `[a, b]` with pre-computed endpoint/midpoint values.
 fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
     (b - a) / 6.0 * (fa + 4.0 * fm + fb)
@@ -157,6 +199,41 @@ mod unit {
         // |x| has a kink at 0; the adaptive splitter must still converge.
         let got = adaptive_simpson(|x| x.abs(), -1.0, 3.0, 1e-12, 40);
         assert!((got - 5.0).abs() < 1e-8, "{got}");
+    }
+
+    #[test]
+    fn breaks_rescue_a_narrow_off_center_spike() {
+        // A Gaussian spike (σ = 0.05) at x = 7 inside [−40, 40]: the
+        // plain adaptive rule probes −40, 0, 40 (all ≈ 0), concludes the
+        // integrand is flat, and bails out at ~0. A break near the spike
+        // recovers the full mass.
+        let spike = |x: f64| (-(x - 7.0) * (x - 7.0) / (2.0 * 0.05 * 0.05)).exp();
+        let mass = 0.05 * (2.0 * core::f64::consts::PI).sqrt();
+        let blind = adaptive_simpson(spike, -40.0, 40.0, 1e-12, 40);
+        assert!(
+            blind < mass * 0.5,
+            "plain rule should miss the spike: {blind}"
+        );
+        let seen = adaptive_simpson_with_breaks(spike, -40.0, 40.0, &[7.0], 1e-12, 40);
+        assert!((seen - mass).abs() < 1e-7, "{seen} vs {mass}");
+    }
+
+    #[test]
+    fn breaks_outside_range_are_ignored() {
+        let f = |x: f64| x.cos() + 1.5;
+        let plain = adaptive_simpson(f, 0.0, 2.0, 1e-12, 30);
+        let broken = adaptive_simpson_with_breaks(
+            f,
+            0.0,
+            2.0,
+            &[-5.0, 0.0, 1.0, 1.0, 2.0, 9.0, f64::NAN],
+            1e-12,
+            30,
+        );
+        assert!((plain - broken).abs() < 1e-10, "{plain} vs {broken}");
+        // Reversed bounds negate, as with the plain rule.
+        let rev = adaptive_simpson_with_breaks(f, 2.0, 0.0, &[1.0], 1e-12, 30);
+        assert!((plain + rev).abs() < 1e-10);
     }
 
     #[test]

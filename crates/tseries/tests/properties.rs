@@ -365,6 +365,59 @@ proptest! {
         prop_assert_eq!(PaaSynopsis::new(&x, m).distance_lower_bound(&PaaSynopsis::new(&x, m)), 0.0);
     }
 
+    #[test]
+    fn paa_is_linear(
+        x in series_strategy(2, 64),
+        y in series_strategy(2, 64),
+        m in 1usize..32,
+    ) {
+        // PAA is a fixed linear map of the values (fractional overlap
+        // weights independent of the data), so segment means of a
+        // difference equal the difference of segment means. This is what
+        // lets the candidate index bound a *distance* from two
+        // independently-stored PAA views — for Euclidean and for any
+        // per-segment cost pushed through the DUST envelope alike.
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let m = m.min(n);
+        let diff: Vec<f64> = x.iter().zip(y).map(|(a, b)| a - b).collect();
+        let lhs = paa(&diff, m);
+        let px = paa(x, m);
+        let py = paa(y, m);
+        for (s, v) in lhs.iter().enumerate() {
+            let rhs = px[s] - py[s];
+            prop_assert!(
+                (v - rhs).abs() <= 1e-9 * (1.0 + v.abs()),
+                "segment {s}: paa(x−y)={v} vs paa(x)−paa(y)={rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn paa_l1_mass_inequality(
+        x in series_strategy(2, 64),
+        y in series_strategy(2, 64),
+        m in 1usize..32,
+    ) {
+        // (n/m)·Σ_s |paa(x−y)_s| ≤ Σᵢ |Δᵢ|: each segment mean's
+        // magnitude is at most the mean magnitude of the points it
+        // averages (triangle inequality), and the overlap weights
+        // redistribute exactly n/m points of mass per segment. This is
+        // the step of the index's Jensen chain that converts per-point
+        // gaps into per-segment gaps without breaking admissibility.
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let m = m.min(n);
+        let diff: Vec<f64> = x.iter().zip(y).map(|(a, b)| a - b).collect();
+        let seg_mass: f64 = paa(&diff, m).iter().map(|v| v.abs()).sum::<f64>()
+            * (n as f64 / m as f64);
+        let point_mass: f64 = diff.iter().map(|v| v.abs()).sum();
+        prop_assert!(
+            seg_mass <= point_mass * (1.0 + 1e-9) + 1e-12,
+            "n={n} m={m}: segment mass {seg_mass} > point mass {point_mass}"
+        );
+    }
+
     // ---- SAX ---------------------------------------------------------------
 
     #[test]

@@ -6,13 +6,17 @@
 //!
 //! Prepares a mid-size collection with the lower-bound candidate index
 //! forced on and forced off, replays range and top-k workloads through
-//! both for three value-based techniques (Euclidean, UMA, UEMA), and
-//! asserts bit-identical answers — plus that the index actually pruned
-//! (candidates visited strictly below collection size). The index's two
-//! contracts, checked in seconds without a full criterion capture.
+//! both for the value-based techniques (Euclidean, UMA, UEMA) and for
+//! DUST (whose pruning pushes PAA gaps through the φ-space cost
+//! envelope), and asserts bit-identical answers — plus that the index
+//! actually pruned (candidates visited strictly below collection size;
+//! DUST additionally below a 90% floor, since its envelope must do real
+//! work, not just squeak by). The index's two contracts, checked in
+//! seconds without a full criterion capture.
 
 use std::time::Instant;
 
+use uncertts::core::dust::Dust;
 use uncertts::core::engine::QueryEngine;
 use uncertts::core::index::IndexConfig;
 use uncertts::core::matching::{MatchingTask, Technique};
@@ -49,6 +53,7 @@ fn main() {
         ("euclidean", Technique::Euclidean),
         ("uma", Technique::Uma(Uma::default())),
         ("uema", Technique::Uema(Uema::default())),
+        ("dust", Technique::Dust(Dust::default())),
     ];
     let queries: Vec<usize> = (0..n).step_by(97).collect();
 
@@ -90,6 +95,16 @@ fn main() {
             per_query < n as f64,
             "{name}: index visited {per_query:.0} candidates/query — no pruning at n={n}"
         );
+        if *name == "dust" {
+            // The φ-space envelope must deliver real pruning, not just
+            // engage: a 90% candidate floor catches an envelope gone
+            // degenerate (e.g. collapsed to zero cost) that bit-identity
+            // alone would never notice.
+            assert!(
+                per_query < 0.9 * n as f64,
+                "{name}: envelope pruning degenerate — {per_query:.0} of {n} candidates/query"
+            );
+        }
         println!(
             "{name}: {} queries indexed ≡ scan ({:.0} candidates/query of {n}, {} of {} leaves pruned)",
             stats.indexed_queries,
