@@ -17,6 +17,11 @@
 //!   on, so per-technique `IndexStats` (indexed vs scanned queries,
 //!   candidates visited — for DUST, the φ-space envelope engaging
 //!   through the sharded path) appear in the snapshot.
+//! * `overload` — the scan workload hammered from more client threads
+//!   than the admission gate has permits, so load shedding engages:
+//!   QPS and percentiles cover the *admitted* queries, and the gate's
+//!   admitted/rejected counters land in the snapshot next to the cache
+//!   and index statistics.
 //!
 //! Not a criterion bench (criterion reports per-iteration medians; a
 //! load generator wants QPS and tail latency), so it is a
@@ -29,7 +34,9 @@ use rand::Rng;
 use uts_bench::bench_task_sized;
 use uts_core::index::IndexConfig;
 use uts_core::matching::{MatchingTask, Technique};
-use uts_core::serving::{ShardAssignment, ShardedEngine};
+use uts_core::serving::{
+    AdmissionConfig, QueryOptions, ServeError, ShardAssignment, ShardedEngine,
+};
 use uts_stats::rng::Seed;
 
 const COLLECTION: usize = 48;
@@ -67,6 +74,8 @@ struct PhaseResult {
     indexed_queries: u64,
     scan_queries: u64,
     index_candidates: u64,
+    gate_admitted: u64,
+    gate_rejected: u64,
 }
 
 /// Inverse-CDF Zipf sampler over ranks `0..n`: rank r has weight
@@ -174,6 +183,79 @@ fn run_phase(
         indexed_queries: index_delta.indexed_queries,
         scan_queries: index_delta.scan_queries,
         index_candidates: index_delta.candidates,
+        gate_admitted: 0,
+        gate_rejected: 0,
+    }
+}
+
+/// How many client threads hammer the gated engine in the overload
+/// phase (more than [`OVERLOAD_PERMITS`], so shedding engages).
+const OVERLOAD_CLIENTS: usize = 4;
+/// The overload phase's admission capacity.
+const OVERLOAD_PERMITS: usize = 2;
+
+/// Replays `workload` from [`OVERLOAD_CLIENTS`] threads against an
+/// engine whose admission gate holds only [`OVERLOAD_PERMITS`] permits:
+/// rejected operations count into the gate counters, admitted ones into
+/// QPS and the latency percentiles.
+fn run_overload(
+    technique_name: &'static str,
+    engine: &ShardedEngine,
+    workload: &[Op],
+) -> PhaseResult {
+    let before = engine.cache_stats();
+    let gate_before = engine.gate_stats().expect("overload engine has a gate");
+    let chunk = workload.len().div_ceil(OVERLOAD_CLIENTS);
+    let opts = QueryOptions::default();
+    let wall = Instant::now();
+    let per_thread: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workload
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    let mut latencies_ns = Vec::with_capacity(slice.len());
+                    let mut guard = 0usize;
+                    for &op in slice {
+                        let t0 = Instant::now();
+                        match engine.answer_set_opts(op.query, op.epsilon, &opts) {
+                            Ok(resp) => {
+                                guard += resp.value.len();
+                                latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                            }
+                            Err(ServeError::Overloaded) => {}
+                            Err(e) => panic!("overload phase: unexpected {e}"),
+                        }
+                    }
+                    std::hint::black_box(guard);
+                    latencies_ns
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("overload client"))
+            .collect()
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+    let mut latencies_ns: Vec<u64> = per_thread.into_iter().flatten().collect();
+    latencies_ns.sort_unstable();
+    let after = engine.cache_stats();
+    let gate_after = engine.gate_stats().expect("overload engine has a gate");
+    PhaseResult {
+        phase: "overload",
+        technique: technique_name,
+        shards: engine.shard_count(),
+        ops: workload.len(),
+        qps: latencies_ns.len() as f64 / elapsed,
+        p50_us: percentile(&latencies_ns, 0.50),
+        p99_us: percentile(&latencies_ns, 0.99),
+        cache_hits: after.hits - before.hits,
+        cache_misses: after.misses - before.misses,
+        indexed_queries: 0,
+        scan_queries: 0,
+        index_candidates: 0,
+        gate_admitted: gate_after.admitted - gate_before.admitted,
+        gate_rejected: gate_after.rejected - gate_before.rejected,
     }
 }
 
@@ -233,6 +315,12 @@ fn main() {
                 IndexConfig::always(),
             );
             results.push(run_phase("scan_indexed", name, &engine, &scan_workload));
+            // Overload phase: fresh gated engine, more clients than
+            // permits, so the load-shedding counters are exercised.
+            let engine =
+                ShardedEngine::prepare(&task, technique, shards, ShardAssignment::RoundRobin)
+                    .with_admission(AdmissionConfig::reject_when_full(OVERLOAD_PERMITS));
+            results.push(run_overload(name, &engine, &scan_workload));
         }
     }
 
@@ -248,7 +336,8 @@ fn main() {
             "    {{\"phase\": \"{}\", \"technique\": \"{}\", \"shards\": {}, \"ops\": {}, \
              \"qps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"indexed_queries\": {}, \"scan_queries\": {}, \"index_candidates\": {}}}{}\n",
+             \"indexed_queries\": {}, \"scan_queries\": {}, \"index_candidates\": {}, \
+             \"gate_admitted\": {}, \"gate_rejected\": {}}}{}\n",
             r.phase,
             r.technique,
             r.shards,
@@ -261,6 +350,8 @@ fn main() {
             r.indexed_queries,
             r.scan_queries,
             r.index_candidates,
+            r.gate_admitted,
+            r.gate_rejected,
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
@@ -268,9 +359,9 @@ fn main() {
 
     for r in &results {
         println!(
-            "{:4}/{:9} shards={} ops={:5} qps={:>10.1} p50={:>8.2}µs p99={:>8.2}µs hits={} misses={} idx_q={} scan_q={}",
+            "{:4}/{:9} shards={} ops={:5} qps={:>10.1} p50={:>8.2}µs p99={:>8.2}µs hits={} misses={} idx_q={} scan_q={} gate={}/{}",
             r.phase, r.technique, r.shards, r.ops, r.qps, r.p50_us, r.p99_us, r.cache_hits,
-            r.cache_misses, r.indexed_queries, r.scan_queries
+            r.cache_misses, r.indexed_queries, r.scan_queries, r.gate_admitted, r.gate_rejected
         );
     }
     if let Ok(path) = std::env::var("SERVING_JSON") {

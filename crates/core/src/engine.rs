@@ -60,6 +60,7 @@ use uts_tseries::dtw::{lb_keogh_enveloped, DtwOptions, DtwWorkspace, KeoghEnvelo
 use uts_tseries::TimeSeries;
 use uts_uncertain::{MultiObsSeries, PointError, UncertainSeries};
 
+use crate::cancel::{Deadline, DeadlineExpired};
 use crate::dust::DustBoundTable;
 use crate::index::{admits, CandidateIndex, IndexConfig, IndexCounters, IndexStats};
 use crate::matching::{GroundTruth, MatchingTask, QualityScores, Technique};
@@ -404,15 +405,34 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
         epsilon: f64,
         exclude: Option<usize>,
     ) -> Vec<usize> {
+        self.answer_set_ref_within(query, epsilon, exclude, &Deadline::NONE)
+            .expect("the unarmed deadline never expires")
+    }
+
+    /// Deadline-bounded twin of [`QueryEngine::answer_set_ref`]: the
+    /// scan polls `deadline` at cooperative checkpoints (every
+    /// [`crate::cancel::CHECK_INTERVAL`] candidates on the value scans,
+    /// every candidate
+    /// on the MUNICH/PROUD refinement loops) and abandons with the typed
+    /// [`DeadlineExpired`] once it passes. An answer that *is* returned
+    /// is bit-identical to the deadline-free scan — checkpoints never
+    /// alter a decision, they only stop the loop.
+    pub fn answer_set_ref_within(
+        &self,
+        query: &QueryRef<'_>,
+        epsilon: f64,
+        exclude: Option<usize>,
+        deadline: &Deadline,
+    ) -> Result<Vec<usize>, DeadlineExpired> {
         let task = self.task();
         let n = task.len();
         let mut out = Vec::new();
         match (&self.technique, &self.state, query) {
             (Technique::Euclidean, _, QueryRef::Uncertain(qu)) => {
                 let qv = qu.values();
-                out = self.range_select(qv, epsilon, n, exclude, |i, limit| {
+                out = self.range_select(qv, epsilon, n, exclude, deadline, |i, limit| {
                     euclidean_squared_early_abandon(qv, task.uncertain()[i].values(), limit)
-                });
+                })?;
             }
             (
                 Technique::Uma(_) | Technique::Uema(_),
@@ -420,9 +440,9 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
                 QueryRef::Filtered(fq),
             ) => {
                 let qv = fq.values();
-                out = self.range_select(qv, epsilon, n, exclude, |i, limit| {
+                out = self.range_select(qv, epsilon, n, exclude, deadline, |i, limit| {
                     euclidean_squared_early_abandon(qv, filtered[i].values(), limit)
-                });
+                })?;
             }
             (
                 Technique::Dust(d),
@@ -453,13 +473,17 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
                     n,
                     exclude,
                     env.is_some(),
+                    deadline,
                     cost,
                     |i, cutoff| d.within_sq(qu, &task.uncertain()[i], cutoff).then_some(0.0),
-                );
+                )?;
             }
             (Technique::Proud { proud, tau }, _, QueryRef::Uncertain(qu)) => {
                 self.counters.scan_queries.fetch_add(1, Ordering::Relaxed);
+                // PROUD pays a per-pair moment computation: poll the
+                // deadline every candidate (cheap relative to the kernel).
                 for i in candidates(n, exclude) {
+                    deadline.check()?;
                     if proud.matches(qu, &task.uncertain()[i], epsilon, *tau) {
                         out.push(i);
                     }
@@ -480,21 +504,24 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
                 // pipeline, whose decision is bit-identical to the naive
                 // `matches` (and therefore to the `p ≥ τ` comparison the
                 // engine historically made). `parallel_map` preserves
-                // order, so the answer set stays sorted.
+                // order, so the answer set stays sorted. The deadline is
+                // polled before each candidate's refinement — the natural
+                // checkpoint of the MUNICH hot loop, since one refinement
+                // is the unit of work.
                 let cands: Vec<usize> = candidates(n, exclude).collect();
                 let hits = parallel_map(&cands, |&i| {
-                    munich.matches_enveloped(qm, &multi[i], epsilon, *tau, qenv, &envelopes[i])
+                    deadline.check()?;
+                    Ok(munich.matches_enveloped(qm, &multi[i], epsilon, *tau, qenv, &envelopes[i]))
                 });
-                out.extend(
-                    cands
-                        .iter()
-                        .zip(hits)
-                        .filter_map(|(&i, hit)| hit.then_some(i)),
-                );
+                for (&i, hit) in cands.iter().zip(hits) {
+                    if hit? {
+                        out.push(i);
+                    }
+                }
             }
             _ => panic!("query view does not match the prepared technique"),
         }
-        out
+        Ok(out)
     }
 
     /// `Pr(distance(q, i) ≤ ε)` for every candidate `i ≠ q` — `None` for
@@ -516,19 +543,34 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
         epsilon: f64,
         exclude: Option<usize>,
     ) -> Option<Vec<(usize, f64)>> {
+        self.probabilities_ref_within(query, epsilon, exclude, &Deadline::NONE)
+            .expect("the unarmed deadline never expires")
+    }
+
+    /// Deadline-bounded twin of [`QueryEngine::probabilities_ref`] (see
+    /// [`QueryEngine::answer_set_ref_within`] for the checkpoint
+    /// contract).
+    pub fn probabilities_ref_within(
+        &self,
+        query: &QueryRef<'_>,
+        epsilon: f64,
+        exclude: Option<usize>,
+        deadline: &Deadline,
+    ) -> Result<Option<Vec<(usize, f64)>>, DeadlineExpired> {
         let task = self.task();
         let n = task.len();
         match (&self.technique, &self.state, query) {
-            (Technique::Proud { proud, .. }, _, QueryRef::Uncertain(qu)) => Some(
-                candidates(n, exclude)
-                    .map(|i| {
-                        (
-                            i,
-                            proud.probability_within(qu, &task.uncertain()[i], epsilon),
-                        )
-                    })
-                    .collect(),
-            ),
+            (Technique::Proud { proud, .. }, _, QueryRef::Uncertain(qu)) => {
+                let mut out = Vec::with_capacity(n.saturating_sub(1));
+                for i in candidates(n, exclude) {
+                    deadline.check()?;
+                    out.push((
+                        i,
+                        proud.probability_within(qu, &task.uncertain()[i], epsilon),
+                    ));
+                }
+                Ok(Some(out))
+            }
             (
                 Technique::Munich { munich, .. },
                 Prepared::Munich(envelopes),
@@ -538,17 +580,29 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
                     .multi()
                     .expect("MUNICH requires multi-observation data in the task");
                 // Full probabilities cannot abandon early (the value
-                // itself is the answer), but they parallelise perfectly.
+                // itself is the answer), but they parallelise perfectly;
+                // the deadline is polled before each candidate.
                 let cands: Vec<usize> = candidates(n, exclude).collect();
                 let probs = parallel_map(&cands, |&i| {
-                    munich.probability_within_enveloped(qm, &multi[i], epsilon, qenv, &envelopes[i])
+                    deadline.check()?;
+                    Ok(munich.probability_within_enveloped(
+                        qm,
+                        &multi[i],
+                        epsilon,
+                        qenv,
+                        &envelopes[i],
+                    ))
                 });
-                Some(cands.into_iter().zip(probs).collect())
+                let mut out = Vec::with_capacity(cands.len());
+                for (i, p) in cands.into_iter().zip(probs) {
+                    out.push((i, p?));
+                }
+                Ok(Some(out))
             }
             (Technique::Proud { .. } | Technique::Munich { .. }, _, _) => {
                 panic!("query view does not match the prepared technique")
             }
-            _ => None,
+            _ => Ok(None),
         }
     }
 
@@ -585,15 +639,38 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
         k: usize,
         exclude: Option<usize>,
     ) -> Option<Vec<(usize, f64)>> {
+        self.top_k_ref_within(query, k, exclude, &Deadline::NONE)
+            .expect("the unarmed deadline never expires")
+    }
+
+    /// Deadline-bounded twin of [`QueryEngine::top_k_ref`] (see
+    /// [`QueryEngine::answer_set_ref_within`] for the checkpoint
+    /// contract). The outer `Result` carries expiry; the inner `Option`
+    /// keeps the "probabilistic techniques have no distance ranking"
+    /// convention.
+    pub fn top_k_ref_within(
+        &self,
+        query: &QueryRef<'_>,
+        k: usize,
+        exclude: Option<usize>,
+        deadline: &Deadline,
+    ) -> Result<Option<Vec<(usize, f64)>>, DeadlineExpired> {
         let task = self.task();
         let n = task.len();
         assert!(k > 0, "k must be positive");
         match (&self.technique, &self.state, query) {
             (Technique::Euclidean, _, QueryRef::Uncertain(qu)) => {
                 let qv = qu.values();
-                Some(self.top_k_select(qv, k, n, exclude, |i, limit| {
-                    euclidean_squared_early_abandon(qv, task.uncertain()[i].values(), limit)
-                }))
+                Ok(Some(self.top_k_select(
+                    qv,
+                    k,
+                    n,
+                    exclude,
+                    deadline,
+                    |i, limit| {
+                        euclidean_squared_early_abandon(qv, task.uncertain()[i].values(), limit)
+                    },
+                )?))
             }
             (
                 Technique::Uma(_) | Technique::Uema(_),
@@ -601,9 +678,14 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
                 QueryRef::Filtered(fq),
             ) => {
                 let qv = fq.values();
-                Some(self.top_k_select(qv, k, n, exclude, |i, limit| {
-                    euclidean_squared_early_abandon(qv, filtered[i].values(), limit)
-                }))
+                Ok(Some(self.top_k_select(
+                    qv,
+                    k,
+                    n,
+                    exclude,
+                    deadline,
+                    |i, limit| euclidean_squared_early_abandon(qv, filtered[i].values(), limit),
+                )?))
             }
             (
                 Technique::Dust(d),
@@ -621,17 +703,18 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
                     Some(e) => e.cost(g.abs()),
                     None => 0.0,
                 };
-                Some(self.top_k_select_by(
+                Ok(Some(self.top_k_select_by(
                     qu.values(),
                     k,
                     n,
                     exclude,
                     env.is_some(),
+                    deadline,
                     cost,
                     |i, limit| d.distance_sq_early_abandon(qu, &task.uncertain()[i], limit),
-                ))
+                )?))
             }
-            (Technique::Proud { .. } | Technique::Munich { .. }, _, _) => None,
+            (Technique::Proud { .. } | Technique::Munich { .. }, _, _) => Ok(None),
             _ => panic!("query view does not match the prepared technique"),
         }
     }
@@ -706,9 +789,10 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
         epsilon: f64,
         n: usize,
         exclude: Option<usize>,
+        deadline: &Deadline,
         dist_sq: impl FnMut(usize, f64) -> Option<f64>,
-    ) -> Vec<usize> {
-        self.range_select_by(qv, epsilon, n, exclude, true, |d| d * d, dist_sq)
+    ) -> Result<Vec<usize>, DeadlineExpired> {
+        self.range_select_by(qv, epsilon, n, exclude, true, deadline, |d| d * d, dist_sq)
     }
 
     /// Cost-generalised twin of [`Self::range_select`]: the per-segment
@@ -724,9 +808,10 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
         n: usize,
         exclude: Option<usize>,
         use_index: bool,
+        deadline: &Deadline,
         cost: impl Fn(f64) -> f64,
         mut dist_sq: impl FnMut(usize, f64) -> Option<f64>,
-    ) -> Vec<usize> {
+    ) -> Result<Vec<usize>, DeadlineExpired> {
         let cutoff = range_cutoff(epsilon);
         if use_index {
             if let Some(ix) = &self.index {
@@ -738,17 +823,48 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
                     self.counters
                         .candidates
                         .fetch_add(cands.len() as u64, Ordering::Relaxed);
-                    return cands
-                        .into_iter()
-                        .filter(|&i| dist_sq(i, cutoff).is_some())
-                        .collect();
+                    let mut out = Vec::new();
+                    if deadline.is_armed() {
+                        for (it, i) in cands.into_iter().enumerate() {
+                            deadline.checkpoint(it)?;
+                            if dist_sq(i, cutoff).is_some() {
+                                out.push(i);
+                            }
+                        }
+                    } else {
+                        // Deadline-free twin of the loop above: the
+                        // armed branch costs a few ns per candidate —
+                        // measurable next to a short early-abandoned
+                        // kernel — so the default path keeps the exact
+                        // pre-deadline loop body.
+                        for i in cands {
+                            if dist_sq(i, cutoff).is_some() {
+                                out.push(i);
+                            }
+                        }
+                    }
+                    return Ok(out);
                 }
             }
         }
         self.counters.scan_queries.fetch_add(1, Ordering::Relaxed);
-        candidates(n, exclude)
-            .filter(|&i| dist_sq(i, cutoff).is_some())
-            .collect()
+        let mut out = Vec::new();
+        if deadline.is_armed() {
+            for (it, i) in candidates(n, exclude).enumerate() {
+                deadline.checkpoint(it)?;
+                if dist_sq(i, cutoff).is_some() {
+                    out.push(i);
+                }
+            }
+        } else {
+            // Deadline-free twin: see the indexed branch above.
+            for i in candidates(n, exclude) {
+                if dist_sq(i, cutoff).is_some() {
+                    out.push(i);
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Top-k selection over the value view: best-first leaf visitation
@@ -760,9 +876,10 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
         k: usize,
         n: usize,
         exclude: Option<usize>,
+        deadline: &Deadline,
         dist_sq: impl FnMut(usize, f64) -> Option<f64>,
-    ) -> Vec<(usize, f64)> {
-        self.top_k_select_by(qv, k, n, exclude, true, |d| d * d, dist_sq)
+    ) -> Result<Vec<(usize, f64)>, DeadlineExpired> {
+        self.top_k_select_by(qv, k, n, exclude, true, deadline, |d| d * d, dist_sq)
     }
 
     /// Cost-generalised twin of [`Self::top_k_select`] (see
@@ -775,21 +892,22 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
         n: usize,
         exclude: Option<usize>,
         use_index: bool,
+        deadline: &Deadline,
         cost: impl Fn(f64) -> f64,
         dist_sq: impl FnMut(usize, f64) -> Option<f64>,
-    ) -> Vec<(usize, f64)> {
+    ) -> Result<Vec<(usize, f64)>, DeadlineExpired> {
         if use_index {
             if let Some(ix) = &self.index {
                 if let Some(qp) = ix.query_synopsis(qv) {
                     self.counters
                         .indexed_queries
                         .fetch_add(1, Ordering::Relaxed);
-                    return self.indexed_top_k(ix, &qp, k, exclude, cost, dist_sq);
+                    return self.indexed_top_k(ix, &qp, k, exclude, deadline, cost, dist_sq);
                 }
             }
         }
         self.counters.scan_queries.fetch_add(1, Ordering::Relaxed);
-        select_top_k(n, exclude, k, dist_sq)
+        select_top_k(n, exclude, k, deadline, dist_sq)
     }
 
     /// Best-first top-k through the index: leaves in ascending MBR-bound
@@ -806,15 +924,17 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
     /// comparison. Distances of kept candidates are full exact sums
     /// (independent of the limit), so the final `(d, i)`-sorted k are
     /// the same bits the scan path returns.
+    #[allow(clippy::too_many_arguments)]
     fn indexed_top_k(
         &self,
         ix: &CandidateIndex,
         qp: &[f64],
         k: usize,
         exclude: Option<usize>,
+        deadline: &Deadline,
         cost: impl Fn(f64) -> f64,
         mut dist_sq: impl FnMut(usize, f64) -> Option<f64>,
-    ) -> Vec<(usize, f64)> {
+    ) -> Result<Vec<(usize, f64)>, DeadlineExpired> {
         let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
         let mut limit = f64::INFINITY;
         let mut bound = f64::INFINITY; // current k-th best distance
@@ -825,6 +945,9 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
         let mut series_pruned = 0u64;
         let mut cands = 0u64;
         for (pos, &(leaf_lb, leaf)) in order.iter().enumerate() {
+            // One poll per leaf: the natural granule of the best-first
+            // descent (a leaf is a bounded batch of kernel calls).
+            deadline.check()?;
             if best.len() == k && !admits(leaf_lb, bound) {
                 // Bounds ascend with `pos`: everything after is pruned too.
                 leaves_pruned += (order.len() - pos) as u64;
@@ -870,7 +993,7 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
             .series_pruned
             .fetch_add(series_pruned, Ordering::Relaxed);
         self.counters.candidates.fetch_add(cands, Ordering::Relaxed);
-        best.into_iter().map(|(d, i)| (i, d)).collect()
+        Ok(best.into_iter().map(|(d, i)| (i, d)).collect())
     }
 
     /// The plain-value view the DTW scan warps over, when the technique
@@ -912,9 +1035,10 @@ impl<T: Borrow<MatchingTask>> QueryEngine<T> {
 /// sort-by-distance path (ties resolve by index either way).
 pub(crate) fn clean_ground_truth(clean: &[TimeSeries], q: usize, k: usize) -> GroundTruth {
     let qs = clean[q].values();
-    let best = select_top_k(clean.len(), Some(q), k, |i, limit| {
+    let best = select_top_k(clean.len(), Some(q), k, &Deadline::NONE, |i, limit| {
         euclidean_squared_early_abandon(qs, clean[i].values(), limit)
-    });
+    })
+    .expect("the unarmed deadline never expires");
     let &(anchor, clean_distance) = best.last().expect("k >= 1 and len >= k + 2");
     GroundTruth {
         neighbors: best.iter().map(|&(i, _)| i).collect(),
@@ -978,15 +1102,23 @@ fn select_top_k(
     n: usize,
     exclude: Option<usize>,
     k: usize,
+    deadline: &Deadline,
     mut dist_sq: impl FnMut(usize, f64) -> Option<f64>,
-) -> Vec<(usize, f64)> {
+) -> Result<Vec<(usize, f64)>, DeadlineExpired> {
     // Sorted ascending by (distance, index); length ≤ k. The strict
     // cutoff only moves when an insertion changes the k-th best, so it is
     // recomputed there rather than per candidate (its ulp-walk is not
     // free on short series).
     let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
     let mut limit = f64::INFINITY;
-    for i in candidates(n, exclude) {
+    // The checkpoint branch is hoisted out of the loop (see
+    // `range_select_by`): the armed path polls, the default path is the
+    // exact deadline-free loop body.
+    let armed = deadline.is_armed();
+    for (it, i) in candidates(n, exclude).enumerate() {
+        if armed {
+            deadline.checkpoint(it)?;
+        }
         let Some(total) = dist_sq(i, limit) else {
             continue;
         };
@@ -1001,7 +1133,7 @@ fn select_top_k(
             limit = squared_cutoff_strict(best[k - 1].0);
         }
     }
-    best.into_iter().map(|(d, i)| (i, d)).collect()
+    Ok(best.into_iter().map(|(d, i)| (i, d)).collect())
 }
 
 #[cfg(test)]

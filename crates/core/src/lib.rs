@@ -56,6 +56,7 @@ compile_error!(
      Vendor a serde stand-in under vendor/ (and switch this gate off) before enabling it."
 );
 
+pub mod cancel;
 pub mod classify;
 pub mod dust;
 pub mod engine;
@@ -70,16 +71,21 @@ pub mod query;
 pub mod serving;
 pub mod uma;
 
+pub use cancel::{Deadline, DeadlineExpired};
 pub use classify::{knn_loocv, one_nn_loocv, ClassificationOutcome};
 pub use dust::{Dust, DustConfig};
 pub use engine::{PrepareError, QueryEngine, QueryRef};
 pub use euclidean::euclidean_distance;
 pub use index::{CandidateIndex, IndexConfig, IndexStats};
-pub use matching::{MatchingTask, QualityScores, TaskError, TechniqueKind};
+pub use matching::{MatchingTask, QualityScores, TaskError, TechniqueKind, UpdateError};
 pub use munich::{MbiEnvelope, Munich, MunichConfig, MunichError, MunichStrategy};
-pub use parallel::parallel_map;
+pub use parallel::{parallel_map, try_parallel_map, WorkerPanic};
 pub use proud::{MomentModel, Proud, ProudConfig};
 pub use proud_stream::ProudStream;
 pub use query::{ProbabilisticRangeQuery, RangeQuery, TopK, TopKMotifs};
-pub use serving::{CacheStats, ResultCache, ShardAssignment, ShardPlan, ShardedEngine};
+pub use serving::{
+    AdmissionConfig, CacheStats, Coverage, FaultKind, FaultPlan, GateStats, QueryOptions,
+    ResultCache, ScoredAnswer, ServeError, ServingResponse, ShardAssignment, ShardError,
+    ShardFault, ShardPlan, ShardedEngine, Strictness,
+};
 pub use uma::{Uema, Uma, WeightNormalization};

@@ -160,6 +160,87 @@ impl From<crate::engine::PrepareError> for TaskError {
     }
 }
 
+/// Typed rejection of a member replacement whose shape does not fit the
+/// task — the serving layer's fallible update surface
+/// ([`crate::serving::ShardedEngine::try_update_series`]); the panicking
+/// [`crate::serving::ShardedEngine::update_series`] raises the same
+/// message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The replaced index is not a member of the collection.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The collection size it had to be below.
+        len: usize,
+    },
+    /// The replacement series' length differs from the member it
+    /// replaces (the collection is prepared for one fixed length).
+    LengthMismatch {
+        /// Length of the member being replaced.
+        expected: usize,
+        /// Length the replacement brought.
+        got: usize,
+    },
+    /// The replacement's clean and uncertain sides disagree in length.
+    CleanUncertainMismatch {
+        /// Length of the replacement's clean series.
+        clean: usize,
+        /// Length of the replacement's uncertain series.
+        uncertain: usize,
+    },
+    /// Multi-observation data must be supplied iff the task carries it.
+    MultiPresenceMismatch {
+        /// Whether the task holds multi-observation data.
+        task_has_multi: bool,
+    },
+    /// The replacement's multi-observation series length differs from
+    /// the member it replaces.
+    MultiLengthMismatch {
+        /// Length of the member's multi-observation series.
+        expected: usize,
+        /// Length the replacement brought.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::IndexOutOfRange { index, len } => {
+                write!(f, "replacement index {index} out of range (len {len})")
+            }
+            Self::LengthMismatch { expected, got } => write!(
+                f,
+                "replacement series length mismatch: expected {expected}, got {got}"
+            ),
+            Self::CleanUncertainMismatch { clean, uncertain } => write!(
+                f,
+                "clean/uncertain series length mismatch: clean {clean}, uncertain {uncertain}"
+            ),
+            Self::MultiPresenceMismatch { task_has_multi } => {
+                if *task_has_multi {
+                    write!(
+                        f,
+                        "task carries multi-observation data but replacement has none"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "replacement carries multi-observation data but task has none"
+                    )
+                }
+            }
+            Self::MultiLengthMismatch { expected, got } => write!(
+                f,
+                "multi-obs series length mismatch: expected {expected}, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
 /// Precision / recall / F1 of one query's answer set (paper Eq. 14).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -302,37 +383,50 @@ impl MatchingTask {
     /// mutation primitive. Validates the replacement against the task's
     /// shape: lengths must match the member it replaces, and the
     /// multi-observation side must be supplied iff the task carries one.
-    pub(crate) fn with_replaced(
+    /// A shape the task cannot absorb is a typed [`UpdateError`].
+    pub(crate) fn try_with_replaced(
         &self,
         i: usize,
         clean: TimeSeries,
         uncertain: UncertainSeries,
         multi: Option<MultiObsSeries>,
-    ) -> MatchingTask {
-        assert!(i < self.len(), "replacement index out of range");
-        assert_eq!(
-            clean.len(),
-            self.clean[i].len(),
-            "replacement series length mismatch"
-        );
-        assert_eq!(
-            uncertain.len(),
-            clean.len(),
-            "clean/uncertain series length mismatch"
-        );
-        assert_eq!(
-            self.multi.is_some(),
-            multi.is_some(),
-            "replacement must carry multi-observation data iff the task does"
-        );
+    ) -> Result<MatchingTask, UpdateError> {
+        if i >= self.len() {
+            return Err(UpdateError::IndexOutOfRange {
+                index: i,
+                len: self.len(),
+            });
+        }
+        if clean.len() != self.clean[i].len() {
+            return Err(UpdateError::LengthMismatch {
+                expected: self.clean[i].len(),
+                got: clean.len(),
+            });
+        }
+        if uncertain.len() != clean.len() {
+            return Err(UpdateError::CleanUncertainMismatch {
+                clean: clean.len(),
+                uncertain: uncertain.len(),
+            });
+        }
+        if self.multi.is_some() != multi.is_some() {
+            return Err(UpdateError::MultiPresenceMismatch {
+                task_has_multi: self.multi.is_some(),
+            });
+        }
         let mut out = self.clone();
         out.clean[i] = clean;
         out.uncertain[i] = uncertain;
         if let (Some(m), Some(new_m)) = (out.multi.as_mut(), multi) {
-            assert_eq!(new_m.len(), m[i].len(), "multi-obs series length mismatch");
+            if new_m.len() != m[i].len() {
+                return Err(UpdateError::MultiLengthMismatch {
+                    expected: m[i].len(),
+                    got: new_m.len(),
+                });
+            }
             m[i] = new_m;
         }
-        out
+        Ok(out)
     }
 
     /// Number of series in the task.

@@ -2,39 +2,178 @@
 //!
 //! Lives in uts-core so the query engine's MUNICH refinement can fan
 //! surviving candidates over all cores; the experiment runner re-exports
-//! it for its figure sweeps.
+//! it for its figure sweeps, and the serving layer fans queries across
+//! shard engines through the panic-isolating [`try_parallel_map`].
+//!
+//! # Panic behaviour
+//!
+//! Result slots are never shared behind a lock: each worker accumulates
+//! `(index, value)` pairs locally and the caller scatters them after the
+//! joins, so one worker's panic cannot poison a sibling's results.
+//!
+//! * [`parallel_map`] re-raises the first worker panic in the calling
+//!   thread (with its original payload) — a panicking mapper is a caller
+//!   bug, exactly as in a sequential `map`.
+//! * [`try_parallel_map`] isolates panics per *item*: every item maps to
+//!   `Ok(value)` or a [`WorkerPanic`] carrying the payload's message,
+//!   and all non-panicking items still return their values. This is what
+//!   lets the serving layer turn a crashing shard kernel into a typed
+//!   per-shard error instead of tearing down the whole query.
 
-/// Parallel map over a slice with scoped threads; preserves order.
-/// Falls back to sequential for tiny inputs.
-pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A mapped item whose evaluation panicked, captured by
+/// [`try_parallel_map`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the item whose mapping panicked.
+    pub index: usize,
+    /// Human-readable panic message (the payload's `&str`/`String`
+    /// content, or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked on item {}: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Best-effort extraction of the conventional string payloads a panic
+/// carries (`panic!("…")` yields `&str` or `String`).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Order-preserving scatter-gather over scoped worker threads: workers
+/// pull indices from a shared counter, accumulate `(index, result)`
+/// pairs locally, and the caller scatters them into place — no shared
+/// result collection, hence nothing a panicking sibling can poison.
+///
+/// A worker panic propagates out of its join handle; `on_panic` decides
+/// what lands in that item's slot (re-raise for the infallible map,
+/// a typed error for the fault-isolating one).
+fn scatter_gather<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(usize, &T) -> R + Sync,
+    on_panic: impl Fn(usize, Box<dyn std::any::Any + Send>) -> R,
+) -> Vec<R> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(items.len().max(1));
     if workers <= 1 || items.len() < 4 {
-        return items.iter().map(&f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match catch_unwind(AssertUnwindSafe(|| f(i, t))) {
+                Ok(r) => r,
+                Err(payload) => on_panic(i, payload),
+            })
+            .collect();
     }
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
-    results.resize_with(items.len(), || None);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_ref = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                let mut guard = results_ref.lock().expect("no poisoned workers");
-                guard[i] = Some(r);
-            });
-        }
+    let next = AtomicUsize::new(0);
+    // Each worker returns its local (index, outcome) pairs through its
+    // join handle; a panic inside `f` is caught per item so the worker
+    // keeps draining the queue.
+    type Slot<R> = (usize, Result<R, Box<dyn std::any::Any + Send>>);
+    let chunks: Vec<Vec<Slot<R>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<Slot<R>> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let outcome = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
+                        local.push((i, outcome));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panics are caught per item"))
+            .collect()
     });
-    results
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, outcome) in chunks.into_iter().flatten() {
+        slots[i] = Some(match outcome {
+            Ok(r) => r,
+            Err(payload) => on_panic(i, payload),
+        });
+    }
+    slots
         .into_iter()
         .map(|r| r.expect("every slot filled"))
         .collect()
+}
+
+/// Parallel map over a slice with scoped threads; preserves order.
+/// Falls back to sequential for tiny inputs.
+///
+/// A panic inside `f` is re-raised in the calling thread with its
+/// original payload (first panicking item wins); sibling items complete
+/// unaffected, so no partially-poisoned state survives. Callers that
+/// need to *survive* a panicking item use [`try_parallel_map`].
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let first_panic: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>> =
+        std::sync::Mutex::new(None);
+    let results = scatter_gather(
+        items,
+        |_, t| Some(f(t)),
+        |_, payload| {
+            let mut guard = first_panic.lock().unwrap_or_else(|e| e.into_inner());
+            if guard.is_none() {
+                *guard = Some(payload);
+            }
+            None
+        },
+    );
+    if let Some(payload) = first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        std::panic::resume_unwind(payload);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("no panic recorded, every item mapped"))
+        .collect()
+}
+
+/// Panic-isolating twin of [`parallel_map`]: every item independently
+/// maps to `Ok(f(item))` or — when `f` panicked on it — a typed
+/// [`WorkerPanic`] carrying the panic message. Order is preserved and
+/// non-panicking items always return their values.
+pub fn try_parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<Result<R, WorkerPanic>> {
+    scatter_gather(
+        items,
+        |_, t| Ok(f(t)),
+        |index, payload| {
+            Err(WorkerPanic {
+                index,
+                message: panic_message(payload.as_ref()),
+            })
+        },
+    )
 }
 
 #[cfg(test)]
@@ -53,5 +192,53 @@ mod unit {
         let empty: Vec<u8> = vec![];
         assert!(parallel_map(&empty, |&v| v).is_empty());
         assert_eq!(parallel_map(&[7u8], |&v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_map_isolates_panicking_items() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = try_parallel_map(&items, |&v| {
+            if v % 13 == 5 {
+                panic!("boom at {v}");
+            }
+            v * 3
+        });
+        assert_eq!(out.len(), items.len());
+        for (i, r) in out.iter().enumerate() {
+            if i % 13 == 5 {
+                let e = r.as_ref().expect_err("panicking item");
+                assert_eq!(e.index, i);
+                assert_eq!(e.message, format!("boom at {i}"));
+            } else {
+                assert_eq!(*r.as_ref().expect("healthy item"), i * 3);
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_sequential_path_isolates_too() {
+        // Below the parallel threshold the same contract must hold.
+        let out = try_parallel_map(&[1usize, 2, 3], |&v| {
+            if v == 2 {
+                panic!("two");
+            }
+            v
+        });
+        assert!(out[0].is_ok() && out[1].is_err() && out[2].is_ok());
+    }
+
+    #[test]
+    fn parallel_map_reraises_with_original_payload() {
+        let items: Vec<usize> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, |&v| {
+                if v == 11 {
+                    panic!("original payload");
+                }
+                v
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        assert_eq!(panic_message(payload.as_ref()), "original payload");
     }
 }

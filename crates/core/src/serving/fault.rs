@@ -1,0 +1,155 @@
+//! Deterministic fault injection at shard boundaries.
+//!
+//! Chaos testing for the serving layer: a [`FaultPlan`] is a set of
+//! one-shot rules, each of which fires the first time its target shard
+//! evaluates a query attempt — a real `panic!` (exercising the
+//! catch-and-retry machinery end to end), a delay (a straggling shard
+//! whose loop still reaches its deadline checkpoints), or a simulated
+//! degenerate-input rejection at the kernel boundary.
+//!
+//! The plan is **test-only configuration**: an engine with no injected
+//! faults consults an empty rule list (one branch) and pays nothing on
+//! the hot path. Rules are consumed atomically, so a retried attempt
+//! finds the fault already spent and succeeds — which is exactly what
+//! makes the retry/backoff path deterministically testable.
+//!
+//! [`FaultPlan::seeded`] derives a reproducible plan from a
+//! [`uts_stats::rng::Seed`], for randomized-but-replayable chaos runs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use uts_stats::rng::Seed;
+
+/// What an injected fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The shard's evaluation panics (a real `panic!`, caught by the
+    /// serving layer's per-attempt isolation).
+    Panic,
+    /// The shard straggles for the given duration before evaluating,
+    /// polling the query deadline while it sleeps (so a deadline-bound
+    /// query abandons the shard instead of waiting it out).
+    Delay(Duration),
+    /// The shard rejects the attempt as degenerate input — the
+    /// validation a real deployment runs when corrupted (NaN/inf)
+    /// values reach the kernel boundary.
+    NanInput,
+}
+
+/// One-shot rule: fires on the first attempt shard `shard` evaluates,
+/// then stays spent.
+#[derive(Debug)]
+struct FaultRule {
+    shard: usize,
+    kind: FaultKind,
+    armed: AtomicBool,
+}
+
+/// A deterministic set of one-shot shard faults.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults; the hot path's default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a one-shot rule: the next attempt shard `shard` evaluates
+    /// fires `kind`, once.
+    pub fn one_shot(mut self, shard: usize, kind: FaultKind) -> Self {
+        self.rules.push(FaultRule {
+            shard,
+            kind,
+            armed: AtomicBool::new(true),
+        });
+        self
+    }
+
+    /// A reproducible plan of `faults` one-shot rules over `shards`
+    /// shards, derived from `seed` (same seed ⇒ same rules, always).
+    pub fn seeded(seed: Seed, shards: usize, faults: usize) -> Self {
+        assert!(shards > 0, "need at least one shard to fault");
+        let mut plan = FaultPlan::new();
+        for i in 0..faults {
+            let pick = seed.derive("fault").derive_u64(i as u64).value();
+            let shard = (pick % shards as u64) as usize;
+            let kind = match (pick >> 32) % 3 {
+                0 => FaultKind::Panic,
+                1 => FaultKind::Delay(Duration::from_millis(1 + (pick >> 40) % 5)),
+                _ => FaultKind::NanInput,
+            };
+            plan = plan.one_shot(shard, kind);
+        }
+        plan
+    }
+
+    /// Whether the plan has no rules at all (spent or not).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// How many rules are still armed.
+    pub fn armed_count(&self) -> usize {
+        self.rules
+            .iter()
+            .filter(|r| r.armed.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Consumes and returns the first still-armed rule for `shard`, if
+    /// any. Atomic: concurrent attempts see each rule fire exactly once.
+    pub(crate) fn take(&self, shard: usize) -> Option<FaultKind> {
+        if self.rules.is_empty() {
+            return None;
+        }
+        self.rules
+            .iter()
+            .find(|r| {
+                r.shard == shard
+                    && r.armed
+                        .compare_exchange(true, false, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+            })
+            .map(|r| r.kind)
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn rules_fire_once_and_only_for_their_shard() {
+        let plan = FaultPlan::new()
+            .one_shot(1, FaultKind::Panic)
+            .one_shot(1, FaultKind::NanInput);
+        assert_eq!(plan.armed_count(), 2);
+        assert_eq!(plan.take(0), None);
+        assert_eq!(plan.take(1), Some(FaultKind::Panic));
+        assert_eq!(plan.take(1), Some(FaultKind::NanInput));
+        assert_eq!(plan.take(1), None);
+        assert_eq!(plan.armed_count(), 0);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::seeded(Seed::new(7), 4, 6);
+        let b = FaultPlan::seeded(Seed::new(7), 4, 6);
+        assert_eq!(a.rules.len(), 6);
+        for (ra, rb) in a.rules.iter().zip(&b.rules) {
+            assert_eq!((ra.shard, ra.kind), (rb.shard, rb.kind));
+        }
+        assert!(a.rules.iter().all(|r| r.shard < 4));
+    }
+
+    #[test]
+    fn empty_plan_is_free() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.take(0), None);
+    }
+}

@@ -40,27 +40,81 @@
 //! The contract is enforced by `tests/serving_equivalence.rs` across
 //! all six techniques and shard counts `{1, 2, 4, 7}`, and by property
 //! tests over random collection sizes and shard counts.
+//!
+//! # Fault tolerance
+//!
+//! The `_opts` entry points ([`ShardedEngine::answer_set_opts`],
+//! [`ShardedEngine::top_k_opts`], [`ShardedEngine::probabilities_opts`])
+//! wrap the same fan-out in a fault boundary:
+//!
+//! * a **panicking shard** is isolated per attempt
+//!   ([`crate::parallel::try_parallel_map`] plus a per-attempt catch),
+//!   retried with backoff up to [`QueryOptions::retries`], and finally
+//!   reported as a typed [`ShardError`] — never a process abort;
+//! * a **deadline** ([`QueryOptions::deadline`]) is polled cooperatively
+//!   inside every shard's scan ([`crate::cancel::Deadline`]); expiry
+//!   yields the typed [`ServeError::Timeout`];
+//! * under [`Strictness::Degraded`] a failed or expired shard is dropped
+//!   from the merge and the [`ServingResponse`]'s [`Coverage`] bitmap
+//!   records exactly which shards the answer saw;
+//! * an [`AdmissionGate`] (opt-in, [`ShardedEngine::with_admission`])
+//!   caps in-flight queries and rejects the overflow with the typed
+//!   [`ServeError::Overloaded`] after a bounded wait;
+//! * a seeded [`FaultPlan`] ([`ShardedEngine::inject_faults`]) injects
+//!   deterministic one-shot faults at shard boundaries for chaos tests —
+//!   the fault-free engine consults an empty plan and pays nothing.
+//!
+//! The classic entry points are thin wrappers over the `_opts` paths
+//! with [`QueryOptions::default`] (no deadline, no retries, strict), so
+//! fault-free default-option answers stay bit-identical to the classic
+//! — and therefore to the unsharded — results.
 
+pub mod admission;
 pub mod cache;
+pub mod fault;
 pub mod merge;
+pub mod options;
 pub mod shard;
 
+pub use admission::{AdmissionConfig, AdmissionGate, GateStats, Permit};
 pub use cache::{CacheKey, CacheOp, CacheStats, CachedAnswer, ResultCache};
+pub use fault::{FaultKind, FaultPlan};
 pub use merge::{merge_answer_sets, merge_scored_by_index, merge_top_k};
+pub use options::{
+    Coverage, QueryOptions, ServeError, ServingResponse, ShardError, ShardFault, Strictness,
+};
 pub use shard::{ShardAssignment, ShardPlan};
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use uts_tseries::TimeSeries;
 use uts_uncertain::{MultiObsSeries, UncertainSeries};
 
+use crate::cancel::{Deadline, DeadlineExpired};
 use crate::engine::{PrepareError, QueryEngine, QueryRef};
 use crate::index::{IndexConfig, IndexStats};
-use crate::matching::{MatchingTask, TaskError, Technique};
-use crate::parallel::parallel_map;
+use crate::matching::{MatchingTask, TaskError, Technique, UpdateError};
+use crate::parallel::{panic_message, try_parallel_map};
 
 /// Default bound on resident cache entries (see [`ResultCache`]).
 pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// A shared, merged `(global index, score)` ranking — the payload type
+/// of top-k and probability answers (scores are distances for the
+/// former, `Pr(dist ≤ ε)` for the latter).
+pub type ScoredAnswer = Arc<Vec<(usize, f64)>>;
+
+/// First retry backoff; doubles per attempt, clipped to the remaining
+/// deadline budget.
+const RETRY_BACKOFF: Duration = Duration::from_micros(100);
+
+/// How often a delayed (straggling) shard polls the deadline while it
+/// sleeps — also the slack a deadline-bound query pays at worst on top
+/// of its budget when every shard straggles.
+const DELAY_SLICE: Duration = Duration::from_millis(1);
 
 /// A collection partitioned across shard engines, serving range, top-k
 /// and probability queries concurrently with cached, deterministic
@@ -113,6 +167,12 @@ pub struct ShardedEngine {
     /// the same indexing decision (an updated shard must not silently
     /// lose its index).
     index_config: IndexConfig,
+    /// Opt-in admission gate ([`ShardedEngine::with_admission`]); `None`
+    /// admits everything.
+    gate: Option<AdmissionGate>,
+    /// Injected chaos faults ([`ShardedEngine::inject_faults`]); the
+    /// default empty plan costs one branch per shard attempt.
+    faults: FaultPlan,
 }
 
 impl ShardedEngine {
@@ -184,7 +244,44 @@ impl ShardedEngine {
             shards,
             cache: ResultCache::new(DEFAULT_CACHE_CAPACITY),
             index_config: index,
+            gate: None,
+            faults: FaultPlan::new(),
         })
+    }
+
+    /// Adds an admission gate: at most [`AdmissionConfig::permits`]
+    /// queries run concurrently, and an arrival that cannot get a permit
+    /// within [`AdmissionConfig::max_wait`] is rejected with the typed
+    /// [`ServeError::Overloaded`] (through the `_opts` entry points; the
+    /// classic wrappers panic with the same message).
+    ///
+    /// Cache hits are served *before* the gate — a saturated gate still
+    /// answers repeat queries from the cache.
+    pub fn with_admission(mut self, cfg: AdmissionConfig) -> Self {
+        self.gate = Some(AdmissionGate::new(cfg));
+        self
+    }
+
+    /// Admission counters, when a gate is configured.
+    pub fn gate_stats(&self) -> Option<GateStats> {
+        self.gate.as_ref().map(|g| g.stats())
+    }
+
+    /// Installs a chaos [`FaultPlan`]: its one-shot rules fire on the
+    /// next attempts the targeted shards evaluate. Test-only
+    /// configuration — an engine with no injected faults pays nothing.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Removes any injected faults (armed or spent).
+    pub fn clear_faults(&mut self) {
+        self.faults = FaultPlan::new();
+    }
+
+    /// How many injected fault rules are still armed.
+    pub fn armed_faults(&self) -> usize {
+        self.faults.armed_count()
     }
 
     /// The technique every shard was prepared for.
@@ -252,32 +349,215 @@ impl ShardedEngine {
         (s == owner).then_some(local)
     }
 
+    /// The deadline for one query under `opts`, armed at entry so the
+    /// budget covers the whole fan-out (retries and merge included).
+    fn deadline_of(opts: &QueryOptions) -> Deadline {
+        match opts.deadline {
+            Some(budget) => Deadline::within(budget),
+            None => Deadline::NONE,
+        }
+    }
+
+    /// One shard's attempt loop: fire any injected fault, run the
+    /// evaluation inside a per-attempt panic catch, and retry panics
+    /// (with exponential backoff, clipped to the deadline) up to
+    /// `opts.retries` times. Deadline expiry and degenerate input are
+    /// deterministic — they return immediately without burning retries.
+    fn run_shard<X>(
+        &self,
+        s: usize,
+        deadline: &Deadline,
+        opts: &QueryOptions,
+        retries_spent: &AtomicU32,
+        run: &(impl Fn(usize, &Deadline) -> Result<Vec<X>, DeadlineExpired> + Sync),
+    ) -> Result<Vec<X>, ShardFault> {
+        let mut last_panic = String::new();
+        for attempt in 0..=opts.retries {
+            if deadline.expired() {
+                return Err(ShardFault::Expired);
+            }
+            if attempt > 0 {
+                retries_spent.fetch_add(1, Ordering::Relaxed);
+                let mut backoff = RETRY_BACKOFF * (1 << (attempt - 1).min(10));
+                if let Some(left) = deadline.remaining() {
+                    backoff = backoff.min(left);
+                }
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<X>, ShardFault> {
+                match self.faults.take(s) {
+                    Some(FaultKind::Panic) => panic!("injected fault: shard {s} panicked"),
+                    Some(FaultKind::Delay(total)) => {
+                        // A straggling shard: sleep in slices, polling the
+                        // deadline the way a real scan's checkpoints would.
+                        let mut left = total;
+                        while !left.is_zero() {
+                            if deadline.expired() {
+                                return Err(ShardFault::Expired);
+                            }
+                            let step = left.min(DELAY_SLICE);
+                            std::thread::sleep(step);
+                            left -= step;
+                        }
+                    }
+                    Some(FaultKind::NanInput) => return Err(ShardFault::DegenerateInput),
+                    None => {}
+                }
+                run(s, deadline).map_err(|DeadlineExpired| ShardFault::Expired)
+            }));
+            match outcome {
+                Ok(Ok(v)) => return Ok(v),
+                Ok(Err(fault)) => return Err(fault),
+                Err(payload) => last_panic = panic_message(payload.as_ref()),
+            }
+        }
+        Err(ShardFault::Panic(last_panic))
+    }
+
+    /// Fault-bounded fan-out: every shard runs `run` through
+    /// [`Self::run_shard`] on the panic-isolating worker pool, and the
+    /// outcomes fold into covered per-shard parts plus a [`Coverage`]
+    /// bitmap. Strict mode fails on the first shard fault (or
+    /// [`ServeError::Timeout`] on expiry); degraded mode fails only when
+    /// no shard finished.
+    fn fan_out<X: Send>(
+        &self,
+        deadline: &Deadline,
+        opts: &QueryOptions,
+        run: impl Fn(usize, &Deadline) -> Result<Vec<X>, DeadlineExpired> + Sync,
+    ) -> Result<(Vec<Vec<X>>, Coverage, u32), ServeError> {
+        let ids: Vec<usize> = (0..self.shards.len()).collect();
+        let retries_spent = AtomicU32::new(0);
+        let outcomes = try_parallel_map(&ids, |&s| {
+            self.run_shard(s, deadline, opts, &retries_spent, &run)
+        });
+        let mut coverage = Coverage::none(self.shards.len());
+        let mut parts: Vec<Vec<X>> = Vec::with_capacity(self.shards.len());
+        let mut first_fault: Option<ShardError> = None;
+        let mut expired = false;
+        for (s, outcome) in outcomes.into_iter().enumerate() {
+            // The WorkerPanic arm is a second safety net — `run_shard`
+            // already catches panics per attempt.
+            let settled = match outcome {
+                Ok(r) => r,
+                Err(wp) => Err(ShardFault::Panic(wp.message)),
+            };
+            match settled {
+                Ok(v) => {
+                    coverage.set(s);
+                    parts.push(v);
+                }
+                Err(ShardFault::Expired) => expired = true,
+                Err(cause) => {
+                    if first_fault.is_none() {
+                        first_fault = Some(ShardError { shard: s, cause });
+                    }
+                }
+            }
+        }
+        let retries = retries_spent.load(Ordering::Relaxed);
+        match opts.strictness {
+            Strictness::Strict => {
+                if let Some(e) = first_fault {
+                    return Err(ServeError::Shard(e));
+                }
+                if expired {
+                    return Err(ServeError::Timeout);
+                }
+                Ok((parts, coverage, retries))
+            }
+            Strictness::Degraded => {
+                if coverage.covered_count() == 0 {
+                    return Err(match first_fault {
+                        Some(e) if !expired => ServeError::Shard(e),
+                        _ => ServeError::Timeout,
+                    });
+                }
+                Ok((parts, coverage, retries))
+            }
+        }
+    }
+
+    /// Acquires the admission permit, when a gate is configured.
+    fn admit(&self) -> Result<Option<Permit<'_>>, ServeError> {
+        match &self.gate {
+            Some(g) => g
+                .admit()
+                .map(Some)
+                .map_err(|admission::Overloaded| ServeError::Overloaded),
+            None => Ok(None),
+        }
+    }
+
     /// Range query: all members within `epsilon` of member `q` (self
     /// excluded), ascending global indices. Bit-identical to the
     /// unsharded [`QueryEngine::answer_set`]; repeated calls hit the
     /// cache.
+    ///
+    /// Thin wrapper over [`ShardedEngine::answer_set_opts`] with
+    /// [`QueryOptions::default`]; a fault that surfaces anyway (an
+    /// injected chaos fault, or a saturated admission gate) panics with
+    /// the typed error's message — use the `_opts` path to handle those.
     pub fn answer_set(&self, q: usize, epsilon: f64) -> Arc<Vec<usize>> {
+        self.answer_set_opts(q, epsilon, &QueryOptions::default())
+            .map(|r| r.value)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-bounded range query (see the module docs for the
+    /// taxonomy): all members of the covered shards within `epsilon` of
+    /// member `q`, plus the [`Coverage`] the merge saw. With default
+    /// options and no injected faults the response is complete and
+    /// bit-identical to [`ShardedEngine::answer_set`].
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] when a configured gate stays full
+    /// through its bounded wait; [`ServeError::Timeout`] when the
+    /// deadline expires (strict: any shard; degraded: every shard);
+    /// [`ServeError::Shard`] when a shard fails beyond its retries
+    /// (strict) or no shard finishes (degraded).
+    pub fn answer_set_opts(
+        &self,
+        q: usize,
+        epsilon: f64,
+        opts: &QueryOptions,
+    ) -> Result<ServingResponse<Arc<Vec<usize>>>, ServeError> {
         let key = CacheKey {
             technique: self.technique.kind(),
             query: q,
             op: CacheOp::range(epsilon),
         };
         if let Some(CachedAnswer::Indices(hit)) = self.cache.get(&key) {
-            return hit;
+            return Ok(ServingResponse {
+                value: hit,
+                coverage: Coverage::full(self.shards.len()),
+                retries: 0,
+            });
         }
+        let _permit = self.admit()?;
+        let deadline = Self::deadline_of(opts);
         let (owner, local, query) = self.query_view(q);
-        let ids: Vec<usize> = (0..self.shards.len()).collect();
-        let per_shard = parallel_map(&ids, |&s| {
-            self.shards[s]
-                .answer_set_ref(&query, epsilon, Self::exclude_for(s, owner, local))
+        let (parts, coverage, retries) = self.fan_out(&deadline, opts, |s, dl| {
+            Ok(self.shards[s]
+                .answer_set_ref_within(&query, epsilon, Self::exclude_for(s, owner, local), dl)?
                 .into_iter()
                 .map(|l| self.plan.global_of(s, l))
-                .collect::<Vec<_>>()
-        });
-        let merged = Arc::new(merge_answer_sets(&per_shard));
-        self.cache
-            .insert(key, CachedAnswer::Indices(merged.clone()));
-        merged
+                .collect())
+        })?;
+        let merged = Arc::new(merge_answer_sets(&parts));
+        if coverage.is_complete() {
+            // Only complete answers are cached: a degraded partial must
+            // not be replayed as if it were the full one.
+            self.cache
+                .insert(key, CachedAnswer::Indices(merged.clone()));
+        }
+        Ok(ServingResponse {
+            value: merged,
+            coverage,
+            retries,
+        })
     }
 
     /// Top-k nearest neighbours of member `q` (self excluded), as
@@ -291,13 +571,40 @@ impl ShardedEngine {
     /// distance; use [`ShardedEngine::probabilities`] instead.
     ///
     /// # Panics
-    /// If `q` is out of range or `k == 0`.
+    /// If `q` is out of range or `k == 0`; also (like
+    /// [`ShardedEngine::answer_set`]) on faults the default options
+    /// cannot express — use [`ShardedEngine::top_k_opts`] to handle
+    /// those as typed errors.
     pub fn top_k(&self, q: usize, k: usize) -> Result<Arc<Vec<(usize, f64)>>, TaskError> {
+        match self.top_k_opts(q, k, &QueryOptions::default()) {
+            Ok(r) => Ok(r.value),
+            Err(ServeError::Task(e)) => Err(e),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fault-bounded top-k (see [`ShardedEngine::answer_set_opts`] for
+    /// the error and coverage contract). A degraded response holds the
+    /// best `k` across the *covered* shards only — its coverage bitmap
+    /// says which slices of the collection competed.
+    ///
+    /// # Errors
+    /// [`ServeError::Task`] ([`TaskError::NotDistanceRanked`]) for the
+    /// probabilistic techniques, plus the fault taxonomy of
+    /// [`ShardedEngine::answer_set_opts`].
+    pub fn top_k_opts(
+        &self,
+        q: usize,
+        k: usize,
+        opts: &QueryOptions,
+    ) -> Result<ServingResponse<ScoredAnswer>, ServeError> {
         if matches!(
             self.technique,
             Technique::Munich { .. } | Technique::Proud { .. }
         ) {
-            return Err(TaskError::NotDistanceRanked(self.technique.kind()));
+            return Err(ServeError::Task(TaskError::NotDistanceRanked(
+                self.technique.kind(),
+            )));
         }
         assert!(k > 0, "k must be positive");
         let key = CacheKey {
@@ -306,33 +613,64 @@ impl ShardedEngine {
             op: CacheOp::top_k(k),
         };
         if let Some(CachedAnswer::Scored(hit)) = self.cache.get(&key) {
-            return Ok(hit);
+            return Ok(ServingResponse {
+                value: hit,
+                coverage: Coverage::full(self.shards.len()),
+                retries: 0,
+            });
         }
+        let _permit = self.admit()?;
+        let deadline = Self::deadline_of(opts);
         let (owner, local, query) = self.query_view(q);
-        let ids: Vec<usize> = (0..self.shards.len()).collect();
-        let per_shard = parallel_map(&ids, |&s| {
-            self.shards[s]
-                .top_k_ref(&query, k, Self::exclude_for(s, owner, local))
+        let (parts, coverage, retries) = self.fan_out(&deadline, opts, |s, dl| {
+            Ok(self.shards[s]
+                .top_k_ref_within(&query, k, Self::exclude_for(s, owner, local), dl)?
                 .expect("distance-ranked technique")
                 .into_iter()
                 .map(|(l, d)| (self.plan.global_of(s, l), d))
-                .collect::<Vec<_>>()
-        });
-        let merged = Arc::new(merge_top_k(&per_shard, k));
-        self.cache.insert(key, CachedAnswer::Scored(merged.clone()));
-        Ok(merged)
+                .collect())
+        })?;
+        let merged = Arc::new(merge_top_k(&parts, k));
+        if coverage.is_complete() {
+            self.cache.insert(key, CachedAnswer::Scored(merged.clone()));
+        }
+        Ok(ServingResponse {
+            value: merged,
+            coverage,
+            retries,
+        })
     }
 
     /// `Pr(distance(q, i) ≤ ε)` for every member `i ≠ q`, as
     /// `(global index, probability)` ascending by index — `None` for
     /// non-probabilistic techniques. Bit-identical to the unsharded
     /// [`QueryEngine::probabilities`]; repeated calls hit the cache.
+    ///
+    /// Thin wrapper over [`ShardedEngine::probabilities_opts`] with
+    /// [`QueryOptions::default`]; faults panic with the typed error's
+    /// message (see [`ShardedEngine::answer_set`]).
     pub fn probabilities(&self, q: usize, epsilon: f64) -> Option<Arc<Vec<(usize, f64)>>> {
+        match self.probabilities_opts(q, epsilon, &QueryOptions::default()) {
+            Ok(r) => r.map(|r| r.value),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fault-bounded probabilities (see
+    /// [`ShardedEngine::answer_set_opts`] for the error and coverage
+    /// contract). `Ok(None)` for non-probabilistic techniques, matching
+    /// the classic entry point's convention.
+    pub fn probabilities_opts(
+        &self,
+        q: usize,
+        epsilon: f64,
+        opts: &QueryOptions,
+    ) -> Result<Option<ServingResponse<ScoredAnswer>>, ServeError> {
         if !matches!(
             self.technique,
             Technique::Munich { .. } | Technique::Proud { .. }
         ) {
-            return None;
+            return Ok(None);
         }
         let key = CacheKey {
             technique: self.technique.kind(),
@@ -340,21 +678,32 @@ impl ShardedEngine {
             op: CacheOp::probabilities(epsilon),
         };
         if let Some(CachedAnswer::Scored(hit)) = self.cache.get(&key) {
-            return Some(hit);
+            return Ok(Some(ServingResponse {
+                value: hit,
+                coverage: Coverage::full(self.shards.len()),
+                retries: 0,
+            }));
         }
+        let _permit = self.admit()?;
+        let deadline = Self::deadline_of(opts);
         let (owner, local, query) = self.query_view(q);
-        let ids: Vec<usize> = (0..self.shards.len()).collect();
-        let per_shard = parallel_map(&ids, |&s| {
-            self.shards[s]
-                .probabilities_ref(&query, epsilon, Self::exclude_for(s, owner, local))
+        let (parts, coverage, retries) = self.fan_out(&deadline, opts, |s, dl| {
+            Ok(self.shards[s]
+                .probabilities_ref_within(&query, epsilon, Self::exclude_for(s, owner, local), dl)?
                 .expect("probabilistic technique")
                 .into_iter()
                 .map(|(l, p)| (self.plan.global_of(s, l), p))
-                .collect::<Vec<_>>()
-        });
-        let merged = Arc::new(merge_scored_by_index(&per_shard));
-        self.cache.insert(key, CachedAnswer::Scored(merged.clone()));
-        Some(merged)
+                .collect())
+        })?;
+        let merged = Arc::new(merge_scored_by_index(&parts));
+        if coverage.is_complete() {
+            self.cache.insert(key, CachedAnswer::Scored(merged.clone()));
+        }
+        Ok(Some(ServingResponse {
+            value: merged,
+            coverage,
+            retries,
+        }))
     }
 
     /// Replaces global member `i` with new clean/uncertain (and, iff
@@ -405,7 +754,9 @@ impl ShardedEngine {
     ///
     /// # Panics
     /// If `i` is out of range, the replacement lengths differ from the
-    /// original, or multi-observation presence disagrees with the task.
+    /// original, or multi-observation presence disagrees with the task —
+    /// thin wrapper over [`ShardedEngine::try_update_series`], which
+    /// reports the same conditions as a typed [`UpdateError`].
     pub fn update_series(
         &mut self,
         i: usize,
@@ -413,17 +764,37 @@ impl ShardedEngine {
         uncertain: UncertainSeries,
         multi: Option<MultiObsSeries>,
     ) {
-        assert!(i < self.plan.len(), "series index out of range");
+        self.try_update_series(i, clean, uncertain, multi)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`ShardedEngine::update_series`]: a replacement
+    /// whose shape the task cannot absorb is a typed [`UpdateError`] and
+    /// leaves the engine (shards, indexes, cache) untouched.
+    pub fn try_update_series(
+        &mut self,
+        i: usize,
+        clean: TimeSeries,
+        uncertain: UncertainSeries,
+        multi: Option<MultiObsSeries>,
+    ) -> Result<(), UpdateError> {
+        if i >= self.plan.len() {
+            return Err(UpdateError::IndexOutOfRange {
+                index: i,
+                len: self.plan.len(),
+            });
+        }
         let (owner, local) = self.plan.owner_of(i);
         let updated = Arc::new(
             self.shards[owner]
                 .task()
-                .with_replaced(local, clean, uncertain, multi),
+                .try_with_replaced(local, clean, uncertain, multi)?,
         );
         self.shards[owner] =
             QueryEngine::try_prepare_with(updated, &self.technique, self.index_config)
-                .expect("replacement preserves the shape the technique was prepared for");
+                .expect("a shape-validated replacement re-prepares under the same technique");
         self.cache.invalidate();
+        Ok(())
     }
 }
 

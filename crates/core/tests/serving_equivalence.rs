@@ -15,7 +15,7 @@ use uts_core::index::IndexConfig;
 use uts_core::matching::{MatchingTask, TaskError, Technique};
 use uts_core::munich::Munich;
 use uts_core::proud::{Proud, ProudConfig};
-use uts_core::serving::{ShardAssignment, ShardedEngine};
+use uts_core::serving::{QueryOptions, ShardAssignment, ShardedEngine};
 use uts_core::uma::{Uema, Uma};
 use uts_stats::rng::Seed;
 use uts_tseries::TimeSeries;
@@ -414,6 +414,84 @@ fn concurrent_queries_are_consistent() {
     let stats = sharded.cache_stats();
     assert_eq!(stats.hits + stats.misses, 8 * 3 * task.len() as u64);
     assert!(stats.entries <= task.len());
+}
+
+/// Default-options `_opts` entry points ≡ the classic entry points ≡
+/// the unsharded engine, bit for bit, with complete coverage and zero
+/// retries — the fault-tolerance machinery is invisible until asked
+/// for, across all six techniques and every shard count.
+#[test]
+fn default_options_path_is_bit_identical_to_legacy_and_flat() {
+    let task = build_task(0x5E47, 12, 20, 3);
+    let opts = QueryOptions::default();
+    for technique in techniques() {
+        let flat = QueryEngine::prepare(&task, &technique);
+        let probabilistic = matches!(
+            technique,
+            Technique::Munich { .. } | Technique::Proud { .. }
+        );
+        for shards in SHARD_COUNTS {
+            let sharded =
+                ShardedEngine::prepare(&task, &technique, shards, ShardAssignment::RoundRobin);
+            for q in probe_queries(&task) {
+                let eps = task.calibrated_threshold(q, &technique);
+                let via_opts = sharded
+                    .answer_set_opts(q, eps, &opts)
+                    .expect("fault-free default-options query");
+                assert!(via_opts.is_complete());
+                assert_eq!(via_opts.coverage.shard_count(), shards);
+                assert_eq!(via_opts.retries, 0);
+                assert_eq!(*via_opts.value, flat.answer_set(q, eps));
+                assert_eq!(
+                    *via_opts.value,
+                    *sharded.answer_set(q, eps),
+                    "{} shards={shards} q={q}",
+                    technique.kind()
+                );
+
+                match sharded.top_k_opts(q, 3, &opts) {
+                    Ok(resp) => {
+                        assert!(!probabilistic);
+                        assert!(resp.is_complete());
+                        let legacy = sharded.top_k(q, 3).unwrap();
+                        let want = flat.top_k(q, 3).unwrap();
+                        for ((a, b), c) in resp.value.iter().zip(&*legacy).zip(&want) {
+                            assert_eq!(a.0, b.0);
+                            assert_eq!(a.1.to_bits(), b.1.to_bits());
+                            assert_eq!(a.0, c.0);
+                            assert_eq!(a.1.to_bits(), c.1.to_bits());
+                        }
+                    }
+                    Err(e) => {
+                        assert!(probabilistic, "{}: unexpected {e:?}", technique.kind());
+                        assert!(matches!(
+                            e,
+                            uts_core::serving::ServeError::Task(TaskError::NotDistanceRanked(_))
+                        ));
+                    }
+                }
+
+                let via_opts = sharded
+                    .probabilities_opts(q, eps, &opts)
+                    .expect("fault-free default-options query");
+                match via_opts {
+                    Some(resp) => {
+                        assert!(probabilistic);
+                        assert!(resp.is_complete());
+                        let legacy = sharded.probabilities(q, eps).unwrap();
+                        let want = flat.probabilities(q, eps).unwrap();
+                        for ((a, b), c) in resp.value.iter().zip(&*legacy).zip(&want) {
+                            assert_eq!(a.0, b.0);
+                            assert_eq!(a.1.to_bits(), b.1.to_bits());
+                            assert_eq!(a.0, c.0);
+                            assert_eq!(a.1.to_bits(), c.1.to_bits());
+                        }
+                    }
+                    None => assert!(!probabilistic, "{}", technique.kind()),
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
